@@ -1,0 +1,21 @@
+"""Figure 7: MTAML vs. number of active warps (analytical model)."""
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+
+
+def test_figure7(benchmark):
+    points = benchmark.pedantic(experiments.figure7, rounds=1, iterations=1)
+    print()
+    sampled = [p for p in points if p["warps"] % 8 == 0 or p["warps"] == 1]
+    print(format_table(
+        sampled,
+        ["warps", "mtaml", "mtaml_pref", "avg_latency", "avg_latency_pref",
+         "effect"],
+        title="Figure 7 (MTAML model)", floatfmt="{:.1f}",
+    ))
+    effects = [p["effect"] for p in points]
+    # The three regions of Fig. 7 all appear, ending in no-effect.
+    assert "useful" in effects
+    assert "no-effect" in effects
+    assert effects[-1] == "no-effect"

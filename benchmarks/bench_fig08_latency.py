@@ -1,0 +1,22 @@
+"""Figure 8: normalized average memory latency + accuracy under MT-SWP."""
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+
+
+def test_figure8(benchmark, runner):
+    rows = benchmark.pedantic(
+        experiments.figure8, args=(runner,), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        rows, ["benchmark", "normalized_latency", "prefetch_accuracy"],
+        title="Figure 8 (MT-SWP vs. no prefetching)",
+    ))
+    # The paper's headline observations: measured average memory latency
+    # increases with prefetching for most benchmarks even though accuracy
+    # is high — accuracy alone cannot detect harmful prefetches.
+    increased = [r for r in rows if r["normalized_latency"] > 1.0]
+    assert len(increased) >= len(rows) // 2
+    accurate = [r for r in rows if r["prefetch_accuracy"] > 0.7]
+    assert len(accurate) >= len(rows) // 2

@@ -1,0 +1,24 @@
+"""Figure 10: software prefetching (register / stride / IP / MT-SWP)."""
+
+from repro.harness import experiments
+from repro.harness.report import format_speedup_figure
+
+
+def test_figure10(benchmark, runner):
+    result = benchmark.pedantic(
+        experiments.figure10, args=(runner,), rounds=1, iterations=1
+    )
+    print()
+    print(format_speedup_figure(result, "Figure 10 (software prefetching speedup)"))
+    rows = {r["benchmark"]: r for r in result["rows"]}
+    means = result["geomean"]
+    # Shape checks from the paper's Section VII-A:
+    # stride prefetching beats register prefetching on average ...
+    assert means["stride"] > means["register"]
+    # IP provides significant improvement for mp-type chained kernels.
+    assert rows["backprop"]["ip"] > 1.1
+    # IP does nothing for loop benchmarks without IP-delinquent loads.
+    assert abs(rows["monte"]["ip"] - 1.0) < 0.05
+    # MT-SWP (stride+IP) is the best overall software scheme.
+    assert means["mt-swp"] >= means["stride"] - 1e-9
+    assert means["mt-swp"] >= means["ip"] - 1e-9

@@ -1,0 +1,21 @@
+"""Figure 11: MT-SWP with adaptive prefetch throttling."""
+
+from repro.harness import experiments
+from repro.harness.report import format_speedup_figure
+
+
+def test_figure11(benchmark, runner):
+    result = benchmark.pedantic(
+        experiments.figure11, args=(runner,), rounds=1, iterations=1
+    )
+    print()
+    print(format_speedup_figure(result, "Figure 11 (MT-SWP throttling)"))
+    means = result["geomean"]
+    # MT-SWP improves over stride-only and register prefetching; throttling
+    # keeps most of the benefit while removing degradations.
+    assert means["mt-swp"] > means["register"]
+    assert means["mt-swp+T"] > 1.0
+    rows = {r["benchmark"]: r for r in result["rows"]}
+    # Throttling never leaves a benchmark significantly below baseline.
+    for name, row in rows.items():
+        assert row["mt-swp+T"] > 0.9, name

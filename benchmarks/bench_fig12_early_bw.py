@@ -1,0 +1,29 @@
+"""Figure 12: early prefetches and bandwidth consumption under throttling."""
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+
+
+def test_figure12(benchmark, runner):
+    rows = benchmark.pedantic(
+        experiments.figure12, args=(runner,), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        rows,
+        ["benchmark", "early_ratio_swp", "early_ratio_swp_t",
+         "bandwidth_swp", "bandwidth_swp_t"],
+        title="Figure 12 (early prefetch ratio / normalized bandwidth)",
+    ))
+    # Request merging keeps MT-SWP's bandwidth overhead bounded (our
+    # merging is more aggressive than the paper's, where overheads of up
+    # to 3x appear before throttling), and wherever early prefetches do
+    # become significant, throttling reduces them — the paper's Fig. 12
+    # story.
+    for r in rows:
+        assert r["bandwidth_swp"] < 1.30, r
+        assert r["bandwidth_swp_t"] < 1.30, r
+        assert r["early_ratio_swp"] < 0.50, r
+        if r["early_ratio_swp"] > 0.15:
+            assert r["early_ratio_swp_t"] < r["early_ratio_swp"], r
+            assert r["bandwidth_swp_t"] <= r["bandwidth_swp"] + 0.02, r

@@ -1,0 +1,30 @@
+"""Figure 13: previously-proposed hardware prefetchers, naive vs warp-id."""
+
+from repro.harness import experiments
+from repro.harness.report import format_speedup_figure
+
+
+def test_figure13(benchmark, runner):
+    result = benchmark.pedantic(
+        experiments.figure13, args=(runner,), rounds=1, iterations=1
+    )
+    print()
+    print(format_speedup_figure(
+        {"rows": result["naive"], "geomean": result["geomean_naive"]},
+        "Figure 13a (original indexing)",
+    ))
+    print()
+    print(format_speedup_figure(
+        {"rows": result["warp_id"], "geomean": result["geomean_warp_id"]},
+        "Figure 13b (warp-id enhanced indexing)",
+    ))
+    wid = {r["benchmark"]: r for r in result["warp_id"]}
+    # StridePC with warp ids is the standout baseline on stride-type
+    # benchmarks with low TLP (mersenne/monte in the paper).
+    assert wid["monte"]["stride_pc"] > 1.2
+    assert wid["mersenne"]["stride_pc"] > 1.2
+    # Warp-id indexing stabilizes StridePC relative to the naive version.
+    assert (
+        result["geomean_warp_id"]["stride_pc"]
+        >= result["geomean_naive"]["stride_pc"] - 0.02
+    )

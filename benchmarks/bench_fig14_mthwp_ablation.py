@@ -1,0 +1,21 @@
+"""Figure 14: MT-HWP table ablation (GHB vs PWS vs +GS vs +IP vs all)."""
+
+from repro.harness import experiments
+from repro.harness.report import format_speedup_figure
+
+
+def test_figure14(benchmark, runner):
+    result = benchmark.pedantic(
+        experiments.figure14, args=(runner,), rounds=1, iterations=1
+    )
+    print()
+    print(format_speedup_figure(result, "Figure 14 (MT-HWP ablation)"))
+    rows = {r["benchmark"]: r for r in result["rows"]}
+    means = result["geomean"]
+    # PWS alone already beats GHB on the stride-type benchmarks.
+    assert rows["monte"]["mt-hwp:pws"] > rows["monte"]["ghb_wid"]
+    # IP lifts the mp-type chained benchmark where PWS cannot train.
+    assert rows["backprop"]["mt-hwp:pws+ip"] > rows["backprop"]["mt-hwp:pws"]
+    # The full MT-HWP is the best configuration on average.
+    assert means["mt-hwp"] >= means["ghb_wid"]
+    assert means["mt-hwp"] >= means["mt-hwp:pws"] - 0.02

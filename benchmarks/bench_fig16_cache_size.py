@@ -1,0 +1,23 @@
+"""Figure 16: sensitivity to prefetch cache size (1KB..128KB)."""
+
+import os
+
+from repro.harness import experiments
+from repro.harness.report import format_sweep
+
+
+def test_figure16(benchmark, runner, sensitivity_subset):
+    sizes = (1, 2, 4, 8, 16, 32, 64, 128) if os.environ.get(
+        "REPRO_BENCH_FULL"
+    ) == "1" else (1, 4, 16, 64)
+    result = benchmark.pedantic(
+        experiments.figure16,
+        args=(runner,),
+        kwargs={"subset": sensitivity_subset, "sizes_kb": sizes},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_sweep(result, "Figure 16 (prefetch cache size)", "size_kb"))
+    # Larger prefetch caches do not hurt MT-HWP.
+    hw = result["MT-HWP"]
+    assert hw[max(sizes)] >= hw[min(sizes)] - 0.05

@@ -1,0 +1,32 @@
+"""Figure 17: sensitivity of MT-HWP to prefetch distance."""
+
+import os
+
+from repro.harness import experiments
+from repro.harness.report import format_speedup_figure
+
+
+def test_figure17(benchmark, runner, sensitivity_subset):
+    distances = (1, 3, 5, 7, 9, 11, 13, 15) if os.environ.get(
+        "REPRO_BENCH_FULL"
+    ) == "1" else (1, 3, 7, 15)
+    result = benchmark.pedantic(
+        experiments.figure17,
+        args=(runner,),
+        kwargs={"subset": sensitivity_subset, "distances": distances},
+        rounds=1, iterations=1,
+    )
+    print()
+    rows = [
+        {"benchmark": r["benchmark"], **{str(d): r[d] for d in distances}}
+        for r in result["rows"]
+    ]
+    means = {str(d): v for d, v in result["geomean"].items()}
+    print(format_speedup_figure(
+        {"rows": rows, "geomean": means}, "Figure 17 (prefetch distance)"
+    ))
+    # Paper Section IX-B: distance 1 is (near-)best on average — large
+    # distances turn prefetches early and evict them before use.
+    best = max(means.values())
+    assert means["1"] >= best - 0.10
+    assert means["1"] >= means[str(max(distances))] - 0.05

@@ -1,0 +1,25 @@
+"""Figure 18: sensitivity to the number of cores (fixed DRAM bandwidth)."""
+
+import os
+
+from repro.harness import experiments
+from repro.harness.report import format_sweep
+
+
+def test_figure18(benchmark, runner, sensitivity_subset):
+    cores = (8, 10, 12, 14, 16, 18, 20) if os.environ.get(
+        "REPRO_BENCH_FULL"
+    ) == "1" else (8, 14, 20)
+    result = benchmark.pedantic(
+        experiments.figure18,
+        args=(runner,),
+        kwargs={"subset": sensitivity_subset, "core_counts": cores},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_sweep(result, "Figure 18 (number of cores)", "cores"))
+    # Prefetching remains beneficial across core counts; the benefit
+    # shrinks (at most mildly) as contention grows with more cores.
+    for label in ("MT-HWP", "MT-SWP"):
+        series = result[label]
+        assert all(v > 0.95 for v in series.values()), label

@@ -1,0 +1,25 @@
+"""Table III: memory-intensive benchmark characteristics (ours vs. paper)."""
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+
+
+def test_table3(benchmark, table_runner):
+    rows = benchmark.pedantic(
+        experiments.table3, args=(table_runner,), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        rows,
+        ["benchmark", "type", "total_warps", "paper_total_warps",
+         "base_cpi", "paper_base_cpi", "pmem_cpi", "paper_pmem_cpi",
+         "del_stride", "del_ip", "paper_del_stride", "paper_del_ip"],
+        title="Table III (measured vs. paper)",
+    ))
+    assert len(rows) == 14
+    for row in rows:
+        # Perfect memory pins CPI at the 4-cycle issue bound.
+        assert 3.9 <= row["pmem_cpi"] <= 6.5
+        # Every benchmark is memory intensive: base CPI >= 1.5x PMEM CPI
+        # (the paper's selection criterion).
+        assert row["base_cpi"] >= 1.5 * row["pmem_cpi"]

@@ -1,0 +1,26 @@
+"""Table IV: non-memory-intensive benchmarks (base / PMEM / HWP CPI)."""
+
+from repro.harness import experiments
+from repro.harness.report import format_table
+
+
+def test_table4(benchmark, table_runner):
+    rows = benchmark.pedantic(
+        experiments.table4, args=(table_runner,), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        rows,
+        ["benchmark", "base_cpi", "paper_base_cpi", "pmem_cpi",
+         "paper_pmem_cpi", "hwp_cpi", "paper_hwp_cpi"],
+        title="Table IV (measured vs. paper)",
+    ))
+    assert len(rows) == 12
+    for row in rows:
+        # Not memory intensive: base CPI close to perfect-memory CPI, and
+        # hardware prefetching does not change performance significantly.
+        # (Bound 1.9: the paper's own gaussian sits at 1.52x its PMEM CPI
+        # yet is classified non-memory-intensive; our scaled gaussian and
+        # histogram land a little higher.)
+        assert row["base_cpi"] < 1.9 * row["pmem_cpi"]
+        assert abs(row["hwp_cpi"] - row["base_cpi"]) / row["base_cpi"] < 0.25

@@ -1,0 +1,14 @@
+"""Table VI: hardware cost of MT-HWP's tables."""
+
+from repro.harness import experiments
+
+
+def test_table6(benchmark):
+    result = benchmark.pedantic(experiments.table6, rounds=1, iterations=1)
+    print()
+    for name, cost in result["tables"].items():
+        print("%-4s %3d entries x %3d bits = %5d bits" % (
+            name, cost["entries"], cost["bits_per_entry"], cost["total_bits"]))
+    print("total: %d bytes (paper: %d)" % (
+        result["total_bytes"], result["paper_total_bytes"]))
+    assert result["total_bytes"] == result["paper_total_bytes"] == 557

@@ -1,0 +1,58 @@
+"""Shared fixtures for the per-figure benchmark targets.
+
+All figure targets share one session-scoped :class:`ExperimentRunner`, so
+the no-prefetching baselines (and any other overlapping runs) are simulated
+once per `pytest benchmarks/` invocation.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — grid scale factor (default 0.5: half-size grids,
+  same per-core occupancy; set to 1.0 for the full scaled grids used in
+  EXPERIMENTS.md).
+* ``REPRO_BENCH_FULL`` — set to 1 to run the sensitivity sweeps (Figs. 16-18)
+  over the full 14-benchmark suite and all sweep points instead of the
+  representative subset.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.runner import ExperimentRunner
+
+#: Representative subset for the expensive sensitivity sweeps: one
+#: prefetch-friendly stride benchmark, the bandwidth-bound harmful case,
+#: the mp-type IP showcase, and an uncoal-type benchmark.
+SENSITIVITY_SUBSET = ("monte", "stream", "backprop", "bfs")
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+def full_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner(scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def table_runner() -> ExperimentRunner:
+    """Full-scale runner for the Table III/IV characterization targets.
+
+    The tables assert *properties of the calibrated benchmarks* (memory
+    intensity, its absence), which only hold at the calibrated grid sizes —
+    halving the grids halves the TLP and genuinely changes the regime — so
+    these two cheap targets always run at scale 1.0.
+    """
+    if bench_scale() == 1.0:
+        return ExperimentRunner(scale=1.0)
+    return ExperimentRunner(scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def sensitivity_subset():
+    return None if full_mode() else list(SENSITIVITY_SUBSET)

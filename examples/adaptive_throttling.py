@@ -1,0 +1,46 @@
+"""Adaptive prefetch throttling in action (paper Section V).
+
+Runs one prefetch-friendly benchmark (monte) and one prefetch-hostile
+benchmark (stream, bandwidth-saturated) under MT-HWP, with and without the
+adaptive throttle engine, and shows the per-core throttle degrees the
+engine converged to.  The point of Table I's heuristics: keep the
+beneficial prefetches, suppress the harmful ones — using early-eviction
+rate and merge ratio rather than accuracy, which is ~100% either way.
+
+Usage::
+
+    python examples/adaptive_throttling.py
+"""
+
+from repro import run_benchmark
+
+
+def study(name: str) -> None:
+    baseline = run_benchmark(name)
+    plain = run_benchmark(name, hardware="mt-hwp")
+    throttled = run_benchmark(name, hardware="mt-hwp", throttle=True)
+    print(f"== {name} ==")
+    print(f"  MT-HWP            : {plain.speedup_over(baseline):.2f}x  "
+          f"(accuracy {plain.stats.prefetch_accuracy:.2f}, "
+          f"early-eviction rate {plain.stats.early_eviction_rate:.3f}, "
+          f"merge ratio {plain.stats.merge_ratio:.3f})")
+    degrees = [core.throttle.degree for core in throttled.cores]
+    dropped = sum(core.throttle.total_dropped for core in throttled.cores)
+    allowed = sum(core.throttle.total_allowed for core in throttled.cores)
+    drop_pct = 100.0 * dropped / max(1, dropped + allowed)
+    print(f"  MT-HWP + throttle : {throttled.speedup_over(baseline):.2f}x  "
+          f"(final degrees {sorted(set(degrees))}, "
+          f"{drop_pct:.0f}% of prefetches dropped)")
+    print()
+
+
+def main() -> None:
+    print("accuracy is near-100% in both cases below, so accuracy-driven")
+    print("feedback cannot tell them apart — the throttle engine's metrics")
+    print("can (paper Section V):\n")
+    study("monte")   # prefetching helps: the engine should stay open
+    study("stream")  # bandwidth-saturated: the engine should clamp down
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Authoring a custom kernel with the trace DSL.
+
+Builds a small stencil-like kernel from scratch — grid shape, register and
+shared-memory usage (for the occupancy calculator), a loop body with
+dependent loads — then studies how each software prefetching scheme and the
+occupancy cost of register prefetching play out on it.
+
+This is the workflow for extending the reproduction to new workloads: if
+you can describe a kernel's structure (strides, chains, compute density),
+you can simulate every mechanism of the paper against it.
+
+Usage::
+
+    python examples/custom_kernel.py
+"""
+
+from repro import run_benchmark
+from repro.sim.config import CoreConfig
+from repro.sim.occupancy import max_blocks_per_core
+from repro.trace.kernels import Compute, KernelSpec, Load, Store
+from repro.trace.swp import SCHEMES
+from repro.trace.tracegen import generate_workload
+
+
+def build_stencil() -> KernelSpec:
+    """A 1D 3-point stencil: three neighbouring loads, compute, store."""
+    num_blocks, warps_per_block = 56, 8
+    threads = num_blocks * warps_per_block * 32
+    grid_stride = threads * 4
+    return KernelSpec(
+        name="stencil3",
+        suite="custom",
+        btype="stride",
+        threads_per_block=warps_per_block * 32,
+        num_blocks=num_blocks,
+        body=(
+            Load("west", "grid_in", lane_stride=4, iter_stride=grid_stride),
+            Load("here", "grid_in", lane_stride=4, iter_stride=grid_stride),
+            Load("east", "grid_in", lane_stride=4, iter_stride=grid_stride),
+            Compute(1, consumes=("west", "here", "east")),
+            Compute(4),
+            Store("grid_out", lane_stride=4, iter_stride=grid_stride),
+        ),
+        loop_iters=6,
+        regs_per_thread=14,
+        smem_per_block=2048,
+        stride_delinquent=("west", "here", "east"),
+        ip_delinquent=("here",),
+    )
+
+
+def main() -> None:
+    spec = build_stencil()
+    core = CoreConfig()
+    workload = generate_workload(spec)
+    print(f"kernel {spec.name!r}: {spec.total_warps} warps, "
+          f"{spec.num_blocks} blocks, {spec.loop_iters} iterations/thread")
+    print(f"occupancy: {max_blocks_per_core(spec.resources, core)} blocks/core "
+          f"({workload.max_blocks_per_core} used), "
+          f"comp/mem = {workload.comp_inst}/{workload.mem_inst}\n")
+
+    baseline = run_benchmark(spec)
+    print(f"{'scheme':<12} {'cycles':>9} {'CPI':>7} {'speedup':>8} {'occupancy':>10}")
+    print("-" * 50)
+    for scheme_name, swp in SCHEMES.items():
+        result = run_benchmark(spec, software=swp)
+        occ = generate_workload(spec, swp=swp).max_blocks_per_core
+        print(
+            f"{scheme_name:<12} {result.cycles:>9} {result.cpi:>7.2f}"
+            f" {result.speedup_over(baseline):>7.2f}x {occ:>10}"
+        )
+    print(
+        "\nregister prefetching raises register pressure — watch the"
+        " occupancy column — while stride/IP prefetching keep occupancy"
+        " and use the prefetch cache instead (paper Section II-C1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""The MTAML analytical model (paper Section IV, Fig. 7) — and checking it
+against the simulator.
+
+First prints the Fig. 7 curves for a hypothetical computation, classifying
+each warp count as useful / no-effect / useful-or-harmful.  Then validates
+the model's qualitative prediction against actual simulations: a kernel
+with ample warps and compute (high MTAML) gains nothing from prefetching,
+while the same kernel starved of warps (low MTAML) gains a lot.
+
+Usage::
+
+    python examples/mtaml_model.py
+"""
+
+from repro import run_benchmark
+from repro.core.mtaml import mtaml, mtaml_pref
+from repro.harness.experiments import figure7
+from repro.trace.kernels import Compute, KernelSpec, Load
+
+
+def kernel(num_blocks: int, warps_per_block: int, compute: int) -> KernelSpec:
+    threads = num_blocks * warps_per_block * 32
+    return KernelSpec(
+        name=f"mtaml_w{warps_per_block}",
+        suite="custom",
+        btype="stride",
+        threads_per_block=warps_per_block * 32,
+        num_blocks=num_blocks,
+        body=(
+            Load("a", "A", lane_stride=4, iter_stride=threads * 4),
+            Compute(1, consumes=("a",)),
+            Compute(compute),
+        ),
+        loop_iters=8,
+        stride_delinquent=("a",),
+    )
+
+
+def main() -> None:
+    print("Fig. 7: MTAML vs. active warps (hypothetical computation)")
+    print(f"{'warps':>5} {'MTAML':>8} {'MTAML_pref':>11} {'avg lat':>8} {'effect':>18}")
+    for point in figure7():
+        if point["warps"] in (1, 4, 8, 16, 24, 32, 40, 48):
+            print(f"{point['warps']:>5} {point['mtaml']:>8.0f} "
+                  f"{point['mtaml_pref']:>11.0f} {point['avg_latency']:>8.0f} "
+                  f"{point['effect']:>18}")
+
+    print("\nmodel vs. simulator:")
+    for wpb, blocks, compute, label in (
+        (2, 28, 2, "starved (4 warps/core, little compute)"),
+        (8, 112, 60, "saturated (24 warps/core, compute-rich)"),
+    ):
+        spec = kernel(blocks, wpb, compute)
+        warps_per_core = wpb * min(8, 768 // spec.threads_per_block)
+        threshold = mtaml(compute + 1, 1, warps_per_core)
+        threshold_pref = mtaml_pref(compute + 1, 1, warps_per_core, 0.7)
+        base = run_benchmark(spec)
+        pref = run_benchmark(spec, hardware="mt-hwp")
+        print(f"  {label}")
+        print(f"    MTAML = {threshold:.0f}, MTAML_pref = {threshold_pref:.0f}, "
+              f"measured avg latency = {base.stats.avg_demand_latency:.0f}")
+        print(f"    measured prefetching speedup: "
+              f"{pref.speedup_over(base):.2f}x\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: simulate one benchmark with and without MT-prefetching.
+
+Runs the MonteCarlo benchmark (the paper's standout stride-prefetching
+winner) on the Table II baseline GPU three ways — no prefetching, the
+many-thread aware hardware prefetcher (MT-HWP), and many-thread aware
+software prefetching (MT-SWP) — and prints the headline statistics.
+
+Usage::
+
+    python examples/quickstart.py [benchmark]
+"""
+
+import sys
+
+from repro import run_benchmark
+
+
+def describe(label, result, baseline=None):
+    stats = result.stats
+    speedup = f"  speedup {result.speedup_over(baseline):.2f}x" if baseline else ""
+    print(f"{label:<22} cycles {result.cycles:>8}  CPI {result.cpi:6.2f}{speedup}")
+    if stats.prefetch_requests_issued:
+        print(
+            f"{'':<22} prefetches issued {stats.prefetch_requests_issued}"
+            f"  accuracy {stats.prefetch_accuracy:.2f}"
+            f"  coverage {stats.prefetch_coverage:.2f}"
+            f"  late {stats.late_prefetch_fraction:.2f}"
+        )
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "monte"
+    print(f"benchmark: {name} (Table II baseline GPU, 14 cores)\n")
+
+    baseline = run_benchmark(name)
+    describe("no prefetching", baseline)
+
+    perfect = run_benchmark(name, perfect_memory=True)
+    describe("perfect memory", perfect, baseline)
+
+    hwp = run_benchmark(name, hardware="mt-hwp")
+    describe("MT-HWP", hwp, baseline)
+
+    hwp_t = run_benchmark(name, hardware="mt-hwp", throttle=True)
+    describe("MT-HWP + throttling", hwp_t, baseline)
+
+    swp = run_benchmark(name, software="mt-swp")
+    describe("MT-SWP", swp, baseline)
+
+    swp_t = run_benchmark(name, software="mt-swp", throttle=True)
+    describe("MT-SWP + throttling", swp_t, baseline)
+
+
+if __name__ == "__main__":
+    main()

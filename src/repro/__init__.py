@@ -1,0 +1,53 @@
+"""repro: reproduction of "Many-Thread Aware Prefetching Mechanisms for
+GPGPU Applications" (Lee, Lakshminarayana, Kim, Vuduc — MICRO 2010).
+
+The package provides:
+
+* :mod:`repro.sim` — a trace-driven, cycle-level GPGPU simulator modelling
+  the paper's Table II baseline (14 SIMT cores, prefetch caches, MRQs with
+  intra-core merging, an injection-limited interconnect, banked DRAM with
+  inter-core merging and demand-over-prefetch priority);
+* :mod:`repro.core` — the paper's contributions and baselines: MT-HWP
+  (PWS/GS/IP tables), stride/stream/GHB prefetchers in naive and warp-aware
+  forms, the adaptive throttle engine, feedback-directed baselines, and the
+  MTAML analytical model;
+* :mod:`repro.trace` — synthetic kernel/trace generation standing in for
+  GPUOcelot traces of the 26 evaluated benchmarks, plus the software
+  prefetching transformations (register / stride / inter-thread / MT-SWP);
+* :mod:`repro.harness` — experiment runner and the per-figure/table
+  reproduction entry points.
+
+Quickstart::
+
+    from repro import run_benchmark
+
+    base = run_benchmark("monte")
+    hwp = run_benchmark("monte", hardware="mt-hwp")
+    print(hwp.speedup_over(base))
+"""
+
+from repro.harness.runner import ExperimentRunner, run_benchmark
+from repro.sim.config import GpuConfig, baseline_config
+from repro.sim.gpu import GpuSimulator, SimulationResult
+from repro.trace.benchmarks import (
+    COMPUTE_BENCHMARKS,
+    MEMORY_BENCHMARKS,
+    get_benchmark,
+)
+from repro.trace.swp import SoftwarePrefetchConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "COMPUTE_BENCHMARKS",
+    "ExperimentRunner",
+    "GpuConfig",
+    "GpuSimulator",
+    "MEMORY_BENCHMARKS",
+    "SimulationResult",
+    "SoftwarePrefetchConfig",
+    "baseline_config",
+    "get_benchmark",
+    "run_benchmark",
+    "__version__",
+]

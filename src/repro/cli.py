@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``run`` — simulate one benchmark under a chosen prefetching scheme and
+  print the headline statistics (optionally as JSON).
+* ``compare`` — run a set of schemes on one benchmark and print a speedup
+  table.
+* ``list`` — list benchmarks and schemes.
+* ``figure`` — regenerate one of the paper's exhibits (table3, table4,
+  table6, fig7, fig8, fig10, ..., fig18) and print it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.harness import experiments
+from repro.harness.report import format_speedup_figure, format_sweep, format_table
+from repro.harness.runner import (
+    HARDWARE_SCHEMES,
+    ExperimentRunner,
+    run_benchmark,
+)
+from repro.trace.benchmarks import COMPUTE_BENCHMARKS, MEMORY_BENCHMARKS
+from repro.trace.swp import SCHEMES as SOFTWARE_SCHEMES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MICRO-2010 many-thread aware prefetching reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate one benchmark")
+    run_p.add_argument("benchmark")
+    run_p.add_argument("--software", default="none", choices=sorted(SOFTWARE_SCHEMES))
+    run_p.add_argument("--hardware", default="none", choices=sorted(HARDWARE_SCHEMES))
+    run_p.add_argument("--throttle", action="store_true")
+    run_p.add_argument("--distance", type=int, default=1)
+    run_p.add_argument("--degree", type=int, default=1)
+    run_p.add_argument("--perfect-memory", action="store_true")
+    run_p.add_argument("--scale", type=float, default=1.0)
+    run_p.add_argument("--json", action="store_true", help="print stats as JSON")
+
+    cmp_p = sub.add_parser("compare", help="compare schemes on one benchmark")
+    cmp_p.add_argument("benchmark")
+    cmp_p.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["stride", "mt-swp", "stride_pc_wid", "mt-hwp"],
+        help="software scheme names and/or hardware scheme names",
+    )
+    cmp_p.add_argument("--throttle", action="store_true")
+    cmp_p.add_argument("--scale", type=float, default=1.0)
+
+    sub.add_parser("list", help="list benchmarks and schemes")
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper exhibit")
+    fig_p.add_argument(
+        "name",
+        choices=[
+            "table3", "table4", "table6", "fig7", "fig8", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+        ],
+    )
+    fig_p.add_argument("--scale", type=float, default=1.0)
+    fig_p.add_argument("--subset", nargs="*", default=None)
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    baseline = run_benchmark(args.benchmark, scale=args.scale)
+    result = run_benchmark(
+        args.benchmark,
+        software=args.software,
+        hardware=args.hardware,
+        throttle=args.throttle,
+        distance=args.distance,
+        degree=args.degree,
+        perfect_memory=args.perfect_memory,
+        scale=args.scale,
+    )
+    stats = result.stats.as_dict()
+    stats["speedup_over_baseline"] = result.speedup_over(baseline)
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        print(f"{args.benchmark}: sw={args.software} hw={args.hardware} "
+              f"throttle={args.throttle}")
+        print(f"  cycles  {result.cycles}")
+        print(f"  CPI     {result.cpi:.2f}")
+        print(f"  speedup {result.speedup_over(baseline):.2f}x over no-prefetching")
+        if result.stats.prefetch_requests_issued:
+            print(f"  prefetch accuracy {result.stats.prefetch_accuracy:.2f} "
+                  f"coverage {result.stats.prefetch_coverage:.2f} "
+                  f"late {result.stats.late_prefetch_fraction:.2f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    baseline = run_benchmark(args.benchmark, scale=args.scale)
+    print(f"{'scheme':<20} {'cycles':>9} {'CPI':>7} {'speedup':>8}")
+    print("-" * 46)
+    print(f"{'baseline':<20} {baseline.cycles:>9} {baseline.cpi:>7.2f} "
+          f"{'1.00x':>8}")
+    for scheme in args.schemes:
+        software = scheme if scheme in SOFTWARE_SCHEMES else "none"
+        hardware = scheme if scheme in HARDWARE_SCHEMES and scheme != "none" else "none"
+        if software == "none" and hardware == "none":
+            print(f"{scheme:<20} unknown scheme", file=sys.stderr)
+            continue
+        result = run_benchmark(
+            args.benchmark, software=software, hardware=hardware,
+            throttle=args.throttle, scale=args.scale,
+        )
+        print(f"{scheme:<20} {result.cycles:>9} {result.cpi:>7.2f} "
+              f"{result.speedup_over(baseline):>7.2f}x")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("memory-intensive benchmarks (Table III):")
+    print("  " + " ".join(MEMORY_BENCHMARKS))
+    print("non-memory-intensive benchmarks (Table IV):")
+    print("  " + " ".join(COMPUTE_BENCHMARKS))
+    print("software schemes:")
+    print("  " + " ".join(sorted(SOFTWARE_SCHEMES)))
+    print("hardware schemes:")
+    print("  " + " ".join(sorted(HARDWARE_SCHEMES)))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(scale=args.scale)
+    subset = args.subset or None
+    name = args.name
+    if name == "table3":
+        print(format_table(
+            experiments.table3(runner, subset),
+            ["benchmark", "type", "base_cpi", "paper_base_cpi",
+             "pmem_cpi", "paper_pmem_cpi"],
+            title="Table III",
+        ))
+    elif name == "table4":
+        print(format_table(
+            experiments.table4(runner, subset),
+            ["benchmark", "base_cpi", "pmem_cpi", "hwp_cpi",
+             "paper_base_cpi", "paper_pmem_cpi", "paper_hwp_cpi"],
+            title="Table IV",
+        ))
+    elif name == "table6":
+        result = experiments.table6()
+        print(json.dumps(result, indent=2))
+    elif name == "fig7":
+        print(format_table(
+            experiments.figure7(),
+            ["warps", "mtaml", "mtaml_pref", "avg_latency", "effect"],
+            title="Figure 7", floatfmt="{:.1f}",
+        ))
+    elif name == "fig8":
+        print(format_table(
+            experiments.figure8(runner, subset),
+            ["benchmark", "normalized_latency", "prefetch_accuracy"],
+            title="Figure 8",
+        ))
+    elif name in ("fig10", "fig11", "fig14", "fig15"):
+        func = {
+            "fig10": experiments.figure10, "fig11": experiments.figure11,
+            "fig14": experiments.figure14, "fig15": experiments.figure15,
+        }[name]
+        print(format_speedup_figure(func(runner, subset), f"Figure {name[3:]}"))
+    elif name == "fig12":
+        print(format_table(
+            experiments.figure12(runner, subset),
+            ["benchmark", "early_ratio_swp", "early_ratio_swp_t",
+             "bandwidth_swp", "bandwidth_swp_t"],
+            title="Figure 12",
+        ))
+    elif name == "fig13":
+        result = experiments.figure13(runner, subset)
+        print(format_speedup_figure(
+            {"rows": result["naive"], "geomean": result["geomean_naive"]},
+            "Figure 13a"))
+        print()
+        print(format_speedup_figure(
+            {"rows": result["warp_id"], "geomean": result["geomean_warp_id"]},
+            "Figure 13b"))
+    elif name == "fig16":
+        print(format_sweep(experiments.figure16(runner, subset),
+                           "Figure 16", "size_kb"))
+    elif name == "fig17":
+        result = experiments.figure17(runner, subset)
+        rows = [
+            {"benchmark": r["benchmark"],
+             **{str(k): v for k, v in r.items() if k != "benchmark"}}
+            for r in result["rows"]
+        ]
+        means = {str(k): v for k, v in result["geomean"].items()}
+        print(format_speedup_figure({"rows": rows, "geomean": means}, "Figure 17"))
+    elif name == "fig18":
+        print(format_sweep(experiments.figure18(runner, subset),
+                           "Figure 18", "cores"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "list": _cmd_list,
+        "figure": _cmd_figure,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""The paper's primary contribution: MT-prefetching mechanisms.
+
+This subpackage contains everything Section III-V of the paper proposes or
+compares against, independent of the timing simulator:
+
+* baseline CPU-style hardware prefetchers (stride RPT, per-PC stride, stream,
+  GHB AC/DC) in naive and warp-id-enhanced ("many-thread aware trained")
+  forms — Table V;
+* the many-thread aware hardware prefetcher **MT-HWP** with its PWS, GS
+  (stride promotion) and IP (hardware inter-thread) tables — Fig. 6;
+* the adaptive prefetch **throttle engine** driven by early-eviction rate and
+  merge ratio — Table I;
+* feedback-directed baselines **GHB+F** and **StridePC+T** — Section VIII-C;
+* the **MTAML** analytical model of useful/neutral/harmful prefetching —
+  Section IV.
+"""
+
+from repro.core.base import HardwarePrefetcher, NullPrefetcher
+from repro.core.feedback import FeedbackGhbPrefetcher, LatenessThrottledStridePc
+from repro.core.ghb import GhbPrefetcher
+from repro.core.mt_hwp import MtHwpPrefetcher, hardware_cost_bits
+from repro.core.mtaml import (
+    PrefetchEffect,
+    classify_prefetch_effect,
+    mtaml,
+    mtaml_pref,
+)
+from repro.core.stream_pref import StreamPrefetcher
+from repro.core.stride_pc import StridePcPrefetcher
+from repro.core.stride_rpt import StrideRptPrefetcher
+from repro.core.throttle import ThrottleEngine
+
+__all__ = [
+    "FeedbackGhbPrefetcher",
+    "GhbPrefetcher",
+    "HardwarePrefetcher",
+    "LatenessThrottledStridePc",
+    "MtHwpPrefetcher",
+    "NullPrefetcher",
+    "PrefetchEffect",
+    "StreamPrefetcher",
+    "StridePcPrefetcher",
+    "StrideRptPrefetcher",
+    "ThrottleEngine",
+    "classify_prefetch_effect",
+    "hardware_cost_bits",
+    "mtaml",
+    "mtaml_pref",
+]

@@ -1,0 +1,150 @@
+"""MTAML: the minimum tolerable average memory latency model (paper
+Section IV, Fig. 7).
+
+The principal latency-tolerance mechanism in a GPGPU is multithreading, so
+prefetching only matters when multithreading falls short.  The paper
+formalizes this with MTAML, the minimum average number of cycles per memory
+request that does not lead to stalls:
+
+.. math::
+
+    MTAML = \\frac{\\#comp\\_inst}{\\#mem\\_inst} \\times (\\#warps - 1)
+    \\qquad (Eq.\\ 1)
+
+Under prefetching, a prefetch-cache hit costs the same as a computational
+instruction, so a hit probability :math:`p` converts :math:`p` of the memory
+instructions into compute-cost instructions (Eqs. 2-4):
+
+.. math::
+
+    MTAML_{pref} = \\frac{\\#comp + p \\cdot \\#mem}{(1-p) \\cdot \\#mem}
+    \\times (\\#warps - 1)
+
+Comparing the measured average memory latencies (without and with
+prefetching) against these thresholds classifies prefetching as having
+**no effect** (multithreading already suffices), being **useful**
+(prefetching moves the application from intolerable to tolerable latency),
+or **possibly harmful** (neither configuration fully tolerates latency —
+the average-case model cannot decide, motivating the adaptive throttling of
+Section V).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+class PrefetchEffect(enum.Enum):
+    """The three regions of Fig. 7."""
+
+    NO_EFFECT = "no-effect"
+    USEFUL = "useful"
+    USEFUL_OR_HARMFUL = "useful-or-harmful"
+
+
+def mtaml(comp_inst: float, mem_inst: float, warps: int) -> float:
+    """Eq. 1: minimum tolerable average memory latency without prefetching."""
+    if mem_inst <= 0:
+        return float("inf")
+    if warps < 1:
+        raise ValueError("warps must be >= 1")
+    return (comp_inst / mem_inst) * (warps - 1)
+
+
+def mtaml_pref(
+    comp_inst: float, mem_inst: float, warps: int, prefetch_hit_prob: float
+) -> float:
+    """Eqs. 2-4: minimum tolerable average memory latency with prefetching.
+
+    ``prefetch_hit_prob`` is the probability a demand memory instruction
+    hits in the prefetch cache.  Note the denominator counts *demand*
+    memory instructions only — prefetch instructions are excluded by
+    definition (Section IV-A).
+    """
+    if not 0.0 <= prefetch_hit_prob <= 1.0:
+        raise ValueError("prefetch_hit_prob must be within [0, 1]")
+    if mem_inst <= 0:
+        return float("inf")
+    if warps < 1:
+        raise ValueError("warps must be >= 1")
+    comp_new = comp_inst + prefetch_hit_prob * mem_inst
+    memory_new = (1.0 - prefetch_hit_prob) * mem_inst
+    if memory_new <= 0:
+        return float("inf")
+    return (comp_new / memory_new) * (warps - 1)
+
+
+def classify_prefetch_effect(
+    avg_latency: float,
+    avg_latency_pref: float,
+    comp_inst: float,
+    mem_inst: float,
+    warps: int,
+    prefetch_hit_prob: float,
+) -> PrefetchEffect:
+    """Classify prefetching per the three cases of Section IV-A.
+
+    1. Both latencies are below their thresholds: multithreading already
+       tolerates memory latency — prefetching has **no effect**.
+    2. The baseline cannot tolerate latency but prefetching can:
+       prefetching is **useful**.
+    3. Otherwise the average-case model cannot decide: **useful or
+       harmful**.
+    """
+    threshold = mtaml(comp_inst, mem_inst, warps)
+    threshold_pref = mtaml_pref(comp_inst, mem_inst, warps, prefetch_hit_prob)
+    if avg_latency < threshold and avg_latency_pref < threshold_pref:
+        return PrefetchEffect.NO_EFFECT
+    if avg_latency > threshold and avg_latency_pref < threshold_pref:
+        return PrefetchEffect.USEFUL
+    return PrefetchEffect.USEFUL_OR_HARMFUL
+
+
+@dataclass(frozen=True)
+class MtamlCurvePoint:
+    """One x-axis point of a Fig. 7-style plot."""
+
+    warps: int
+    mtaml: float
+    mtaml_pref: float
+    avg_latency: float
+    avg_latency_pref: float
+    effect: PrefetchEffect
+
+
+def mtaml_curves(
+    comp_inst: float,
+    mem_inst: float,
+    warp_counts: Sequence[int],
+    prefetch_hit_prob: float,
+    base_latency: float,
+    latency_per_warp: float,
+    prefetch_latency_overhead: float = 1.25,
+) -> List[MtamlCurvePoint]:
+    """Generate the Fig. 7 curves from a simple linear contention model.
+
+    The measured average memory latency is modelled as
+    ``base_latency + latency_per_warp * warps`` (latency grows with in-flight
+    requests); with prefetching the latency of the remaining demand requests
+    is inflated by ``prefetch_latency_overhead`` (prefetching increases
+    total traffic — Section IV-B).
+    """
+    points = []
+    for warps in warp_counts:
+        avg = base_latency + latency_per_warp * warps
+        avg_pref = avg * prefetch_latency_overhead
+        points.append(
+            MtamlCurvePoint(
+                warps=warps,
+                mtaml=mtaml(comp_inst, mem_inst, warps),
+                mtaml_pref=mtaml_pref(comp_inst, mem_inst, warps, prefetch_hit_prob),
+                avg_latency=avg,
+                avg_latency_pref=avg_pref,
+                effect=classify_prefetch_effect(
+                    avg, avg_pref, comp_inst, mem_inst, warps, prefetch_hit_prob
+                ),
+            )
+        )
+    return points

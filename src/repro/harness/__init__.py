@@ -1,0 +1,16 @@
+"""Experiment harness: run benchmark x prefetcher x config grids and
+reproduce each of the paper's figures and tables."""
+
+from repro.harness.runner import (
+    HARDWARE_SCHEMES,
+    ExperimentRunner,
+    geometric_mean,
+    run_benchmark,
+)
+
+__all__ = [
+    "HARDWARE_SCHEMES",
+    "ExperimentRunner",
+    "geometric_mean",
+    "run_benchmark",
+]

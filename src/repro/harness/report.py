@@ -1,0 +1,121 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints each reproduced table/figure as an aligned
+text table — the same rows/series the paper reports — so `pytest
+benchmarks/` output can be compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping],
+    columns: Sequence[str],
+    headers: Optional[Sequence[str]] = None,
+    floatfmt: str = "{:.2f}",
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    headers = list(headers) if headers else list(columns)
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    body = [[cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_speedup_figure(result: Mapping, title: str) -> str:
+    """Render a {rows, geomean} speedup result (Figs. 10-15 shape)."""
+    rows: List[Mapping] = list(result["rows"])
+    schemes = [k for k in rows[0] if k != "benchmark"]
+    table = format_table(
+        rows, ["benchmark"] + schemes, title=title, floatfmt="{:.2f}"
+    )
+    means = result.get("geomean", {})
+    if means:
+        mean_row = {"benchmark": "geomean", **means}
+        table += "\n" + format_table([mean_row], ["benchmark"] + schemes).splitlines()[-1]
+    return table
+
+
+def format_sweep(result: Mapping[str, Mapping], title: str, x_label: str) -> str:
+    """Render a {scheme: {x: speedup}} sweep (Figs. 16, 18 shape)."""
+    schemes = list(result)
+    xs = sorted(next(iter(result.values())).keys())
+    rows = []
+    for x in xs:
+        row = {x_label: x}
+        for scheme in schemes:
+            row[scheme] = result[scheme][x]
+        rows.append(row)
+    return format_table(rows, [x_label] + schemes, title=title)
+
+
+def summarize_headline(
+    figure11_result: Mapping, figure15_result: Mapping
+) -> Dict[str, float]:
+    """The abstract's headline comparisons.
+
+    * MT-SWP+T over stride SWP (paper: +16%),
+    * MT-HWP+T over StridePC+T (paper: +15%),
+    * MT-SWP+T over baseline (paper: +36%),
+    * MT-HWP+T over baseline (paper: +29%).
+    """
+    swp = figure11_result["geomean"]
+    hwp = figure15_result["geomean"]
+    return {
+        "mt_swp_t_over_stride": swp["mt-swp+T"] / swp["stride"],
+        "mt_swp_t_over_baseline": swp["mt-swp+T"],
+        "mt_hwp_t_over_stride_pc_t": hwp["mt-hwp+T"] / hwp["stride_pc_throttle"],
+        "mt_hwp_t_over_baseline": hwp["mt-hwp+T"],
+    }
+
+
+def format_bar_chart(
+    values: Mapping[str, float],
+    title: str,
+    width: int = 40,
+    reference: float = 1.0,
+) -> str:
+    """Render a labelled horizontal ASCII bar chart.
+
+    Used for speedup figures: a ``|`` marks the reference (1.0 = baseline),
+    bars are scaled to the maximum value, and each row prints the numeric
+    value after the bar.
+    """
+    if not values:
+        return title + "\n(no data)"
+    label_width = max(len(str(k)) for k in values)
+    peak = max(max(values.values()), reference)
+    lines = [title]
+    ref_col = int(round(reference / peak * width))
+    for label, value in values.items():
+        filled = int(round(max(0.0, value) / peak * width))
+        bar = ""
+        for col in range(width + 1):
+            if col == ref_col and col > filled:
+                bar += "|"
+            elif col < filled:
+                bar += "#"
+            elif col == filled and col == ref_col:
+                bar += "|"
+            else:
+                bar += " "
+        lines.append(f"{str(label).ljust(label_width)} {bar.rstrip()} {value:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,226 @@
+"""Experiment runner: benchmark x prefetching-scheme x machine-config grid.
+
+Names match the paper's figure legends:
+
+Hardware schemes (Figs. 13-15):
+    ``none``, ``stride_rpt``, ``stride_rpt_wid``, ``stride_pc``,
+    ``stride_pc_wid``, ``stream``, ``stream_wid``, ``ghb``, ``ghb_wid``,
+    ``ghb_feedback`` (GHB+F), ``stride_pc_throttle`` (StridePC+T),
+    ``mt-hwp`` (PWS+GS+IP), and the ablations ``mt-hwp:pws``,
+    ``mt-hwp:pws+gs``, ``mt-hwp:pws+ip``.
+
+Software schemes (Figs. 10-11): ``none``, ``register``, ``stride``, ``ip``,
+``mt-swp`` — or any explicit :class:`SoftwarePrefetchConfig`.
+
+:class:`ExperimentRunner` memoizes results by their full configuration so
+figure scripts that share runs (every figure needs the no-prefetch baseline)
+pay for each simulation once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from repro.core.feedback import FeedbackGhbPrefetcher, LatenessThrottledStridePc
+from repro.core.ghb import GhbPrefetcher
+from repro.core.mt_hwp import MtHwpPrefetcher
+from repro.core.stream_pref import StreamPrefetcher
+from repro.core.stride_pc import StridePcPrefetcher
+from repro.core.stride_rpt import StrideRptPrefetcher
+from repro.sim.config import GpuConfig, ThrottleConfig, baseline_config
+from repro.sim.gpu import GpuSimulator, SimulationResult
+from repro.trace.benchmarks import get_benchmark
+from repro.trace.kernels import KernelSpec
+from repro.trace.swp import SCHEMES, SoftwarePrefetchConfig
+from repro.trace.tracegen import generate_workload
+
+
+def _mt_hwp_builder(pws: bool, gs: bool, ip: bool) -> Callable:
+    def build(distance: int, degree: int):
+        return MtHwpPrefetcher(
+            distance=distance, degree=degree,
+            enable_pws=pws, enable_gs=gs, enable_ip=ip,
+        )
+
+    return build
+
+
+#: name -> builder(distance, degree) for every evaluated hardware scheme.
+HARDWARE_SCHEMES: Dict[str, Optional[Callable]] = {
+    "none": None,
+    "stride_rpt": lambda d, g: StrideRptPrefetcher(distance=d, degree=g),
+    "stride_rpt_wid": lambda d, g: StrideRptPrefetcher(
+        distance=d, degree=g, warp_aware=True
+    ),
+    "stride_pc": lambda d, g: StridePcPrefetcher(distance=d, degree=g),
+    "stride_pc_wid": lambda d, g: StridePcPrefetcher(
+        distance=d, degree=g, warp_aware=True
+    ),
+    "stream": lambda d, g: StreamPrefetcher(distance=d, degree=g),
+    "stream_wid": lambda d, g: StreamPrefetcher(distance=d, degree=g, warp_aware=True),
+    "ghb": lambda d, g: GhbPrefetcher(distance=d, degree=g),
+    "ghb_wid": lambda d, g: GhbPrefetcher(distance=d, degree=g, warp_aware=True),
+    "ghb_feedback": lambda d, g: FeedbackGhbPrefetcher(distance=d, degree=g),
+    "stride_pc_throttle": lambda d, g: LatenessThrottledStridePc(distance=d, degree=g),
+    "mt-hwp": _mt_hwp_builder(True, True, True),
+    "mt-hwp:pws": _mt_hwp_builder(True, False, False),
+    "mt-hwp:pws+gs": _mt_hwp_builder(True, True, False),
+    "mt-hwp:pws+ip": _mt_hwp_builder(True, False, True),
+}
+
+
+def resolve_software(software: Union[str, SoftwarePrefetchConfig]) -> SoftwarePrefetchConfig:
+    """Accept a scheme name or an explicit config."""
+    if isinstance(software, SoftwarePrefetchConfig):
+        return software
+    try:
+        return SCHEMES[software]
+    except KeyError:
+        raise KeyError(
+            f"unknown software scheme {software!r}; choose from {sorted(SCHEMES)}"
+        ) from None
+
+
+def run_benchmark(
+    benchmark: Union[str, KernelSpec],
+    software: Union[str, SoftwarePrefetchConfig] = "none",
+    hardware: str = "none",
+    throttle: bool = False,
+    distance: int = 1,
+    degree: int = 1,
+    config: Optional[GpuConfig] = None,
+    perfect_memory: bool = False,
+    scale: float = 1.0,
+) -> SimulationResult:
+    """Run one (benchmark, scheme, machine) combination and return results.
+
+    Args:
+        benchmark: Benchmark name (see :data:`MEMORY_BENCHMARKS`) or a
+            custom :class:`KernelSpec`.
+        software: Software prefetching scheme name or config.
+        hardware: Hardware prefetcher scheme name (:data:`HARDWARE_SCHEMES`).
+        throttle: Enable the adaptive throttle engine (applies to both
+            software and hardware prefetch requests).
+        distance, degree: Prefetcher aggressiveness (hardware and software).
+        config: Machine configuration; defaults to the Table II baseline.
+        perfect_memory: All memory requests complete instantly (for the
+            PMEM CPI columns of Tables III/IV).
+        scale: Grid scale factor passed to :func:`get_benchmark`.
+    """
+    if isinstance(benchmark, KernelSpec):
+        spec = benchmark
+    else:
+        spec = get_benchmark(benchmark, scale=scale)
+    swp = resolve_software(software)
+    if swp.distance != distance and distance != 1:
+        swp = dataclasses.replace(swp, distance=distance)
+    cfg = config or baseline_config()
+    if perfect_memory:
+        cfg = cfg.replace(perfect_memory=True)
+    if throttle != cfg.throttle.enabled:
+        cfg = cfg.replace(throttle=dataclasses.replace(cfg.throttle, enabled=throttle))
+    builder = HARDWARE_SCHEMES.get(hardware, "missing")
+    if builder == "missing":
+        raise KeyError(
+            f"unknown hardware scheme {hardware!r}; choose from "
+            f"{sorted(HARDWARE_SCHEMES)}"
+        )
+    factory = (lambda core_id: builder(distance, degree)) if builder else None
+    workload = generate_workload(spec, swp=swp)
+    sim = GpuSimulator(cfg, factory)
+    sim.load_workload(workload.blocks, workload.max_blocks_per_core)
+    result = sim.run()
+    result.stats.extra["benchmark"] = spec.name  # type: ignore[assignment]
+    return result
+
+
+class ExperimentRunner:
+    """Memoizing front end over :func:`run_benchmark`.
+
+    Figure scripts share many runs (above all the no-prefetching baseline);
+    the runner caches each completed simulation under its full parameter
+    tuple.
+    """
+
+    def __init__(self, config: Optional[GpuConfig] = None, scale: float = 1.0) -> None:
+        self.config = config or baseline_config()
+        self.scale = scale
+        self._cache: Dict[tuple, SimulationResult] = {}
+
+    def run(
+        self,
+        benchmark: str,
+        software: Union[str, SoftwarePrefetchConfig] = "none",
+        hardware: str = "none",
+        throttle: bool = False,
+        distance: int = 1,
+        degree: int = 1,
+        perfect_memory: bool = False,
+        config: Optional[GpuConfig] = None,
+    ) -> SimulationResult:
+        cfg = config or self.config
+        swp = resolve_software(software)
+        key = (
+            benchmark, swp, hardware, throttle, distance, degree,
+            perfect_memory, cfg, self.scale,
+        )
+        if key not in self._cache:
+            self._cache[key] = run_benchmark(
+                benchmark,
+                software=swp,
+                hardware=hardware,
+                throttle=throttle,
+                distance=distance,
+                degree=degree,
+                config=cfg,
+                perfect_memory=perfect_memory,
+                scale=self.scale,
+            )
+        return self._cache[key]
+
+    def baseline(self, benchmark: str) -> SimulationResult:
+        """The no-prefetching run every figure normalizes against."""
+        return self.run(benchmark)
+
+    def speedup(
+        self,
+        benchmark: str,
+        software: Union[str, SoftwarePrefetchConfig] = "none",
+        hardware: str = "none",
+        throttle: bool = False,
+        distance: int = 1,
+        degree: int = 1,
+        config: Optional[GpuConfig] = None,
+    ) -> float:
+        """Speedup of a scheme over the no-prefetching baseline."""
+        base = self.run(benchmark, config=config)
+        variant = self.run(
+            benchmark,
+            software=software,
+            hardware=hardware,
+            throttle=throttle,
+            distance=distance,
+            degree=degree,
+            config=config,
+        )
+        return variant.speedup_over(base)
+
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the paper's cross-benchmark average."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    vals = list(values)
+    if not vals:
+        return 0.0
+    return sum(vals) / len(vals)

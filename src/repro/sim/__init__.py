@@ -1,0 +1,32 @@
+"""GPGPU cycle simulator substrate.
+
+This subpackage implements the trace-driven, cycle-level GPGPU simulator the
+paper's evaluation rests on (Section VI, Table II): SIMT cores with in-order
+warp scheduling, memory coalescing, per-core memory request queues with
+intra-core merging, a fixed-latency injection-limited interconnect, a banked
+DRAM model with inter-core merging and demand-over-prefetch priority, and the
+per-core prefetch cache that backs both software and hardware MT-prefetching.
+"""
+
+from repro.sim.config import (
+    CoreConfig,
+    DramConfig,
+    GpuConfig,
+    InterconnectConfig,
+    PrefetchCacheConfig,
+    baseline_config,
+)
+from repro.sim.gpu import GpuSimulator, SimulationResult
+from repro.sim.stats import SimStats
+
+__all__ = [
+    "CoreConfig",
+    "DramConfig",
+    "GpuConfig",
+    "GpuSimulator",
+    "InterconnectConfig",
+    "PrefetchCacheConfig",
+    "SimStats",
+    "SimulationResult",
+    "baseline_config",
+]

@@ -1,0 +1,355 @@
+"""SIMT core model: warp scheduling, issue, memory access, prefetch engine.
+
+Models one streaming multiprocessor of the Table II baseline:
+
+* an in-order scheduler issuing one warp-instruction at a time, occupying the
+  8-wide SIMD issue port for 4 cycles per warp (16 for IMUL, 32 for FDIV),
+  switching warps loosely round-robin when the current warp's operands are
+  not ready;
+* a scoreboard permitting multiple outstanding loads per warp — a warp only
+  blocks when the *next* instruction depends on a pending load;
+* memory access through the prefetch cache (1-cycle hit), then the MRQ with
+  intra-core merging;
+* the prefetch engine: a pluggable hardware prefetcher trained on the demand
+  global-load stream, software PREFETCH instructions from the trace, and the
+  adaptive throttle engine gating both (paper Fig. 9).
+
+Thread blocks are dispatched to the core up to the kernel's occupancy limit;
+when a block's warps all retire, the core pulls the next block from the
+GPU-wide queue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.base import HardwarePrefetcher
+from repro.core.throttle import ThrottleEngine, ThrottleWindow
+from repro.sim.caches import PrefetchCache
+from repro.sim.config import GpuConfig
+from repro.sim.isa import MemSpace, Op, WarpInstruction
+from repro.sim.memory_request import MemoryRequest
+from repro.sim.mrq import MemoryRequestQueue
+from repro.sim.warp import Warp
+
+#: A thread block handed to a core: (block_id, [(warp_id, instruction stream)]).
+Block = Tuple[int, Sequence[Tuple[int, List[WarpInstruction]]]]
+
+
+class Core:
+    """One SIMT core (SM) of the simulated GPU."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: GpuConfig,
+        prefetcher: Optional[HardwarePrefetcher] = None,
+        throttle: Optional[ThrottleEngine] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.prefetcher = prefetcher
+        self.throttle = throttle or ThrottleEngine(config.throttle)
+        self.mrq = MemoryRequestQueue(core_id, config.core.mrq_size)
+        self.pcache = PrefetchCache(config.prefetch_cache)
+        self.warps: List[Warp] = []
+        self._block_warps: Dict[int, int] = {}
+        self.max_blocks = 1
+        self.port_free_cycle = 0
+        self._rr_index = 0
+        self._issue_cycles = {
+            Op.COMPUTE: config.core.issue_cycles_default,
+            Op.IMUL: config.core.issue_cycles_imul,
+            Op.FDIV: config.core.issue_cycles_fdiv,
+            Op.LOAD: config.core.issue_cycles_default,
+            Op.STORE: config.core.issue_cycles_default,
+            Op.PREFETCH: config.core.issue_cycles_default,
+        }
+        # Statistics (run totals).
+        self.instructions = 0
+        self.prefetch_instructions = 0
+        self.demand_loads = 0
+        self.demand_line_accesses = 0
+        self.demand_lines_to_memory = 0
+        self.demand_latency_sum = 0
+        self.demand_latency_count = 0
+        self.prefetch_generated = 0
+        self.prefetch_throttled = 0
+        self.prefetch_redundant = 0
+        self.prefetch_issued = 0
+        self.late_prefetches = 0
+        self.stall_cycles = 0
+        # Window counters for feedback-directed prefetchers.
+        self._window_prefetch_issued = 0
+        self._window_late = 0
+
+    # ------------------------------------------------------------------
+    # Block / warp management
+    # ------------------------------------------------------------------
+
+    def assign_block(self, block: Block) -> None:
+        """Make a thread block's warps resident on this core."""
+        block_id, warp_specs = block
+        self._block_warps[block_id] = len(warp_specs)
+        for warp_id, stream in warp_specs:
+            self.warps.append(Warp(warp_id, block_id, stream))
+
+    @property
+    def resident_blocks(self) -> int:
+        return len(self._block_warps)
+
+    def has_free_block_slot(self) -> bool:
+        return len(self._block_warps) < self.max_blocks
+
+    def active_warp_count(self) -> int:
+        return sum(1 for w in self.warps if not w.finished)
+
+    @property
+    def drained(self) -> bool:
+        """True when no resident warp has work left."""
+        return not self._block_warps and all(w.finished for w in self.warps)
+
+    def _retire_warp(self, warp: Warp) -> None:
+        remaining = self._block_warps.get(warp.block_id)
+        if remaining is None:
+            return
+        if remaining <= 1:
+            del self._block_warps[warp.block_id]
+            done_block = warp.block_id
+            self.warps = [
+                w for w in self.warps if not (w.finished and w.block_id == done_block)
+            ]
+            self._rr_index = 0
+        else:
+            self._block_warps[warp.block_id] = remaining - 1
+
+    # ------------------------------------------------------------------
+    # Issue
+    # ------------------------------------------------------------------
+
+    def try_issue(self, cycle: int) -> Tuple[bool, Optional[int]]:
+        """Attempt to issue one warp-instruction.
+
+        Returns ``(issued, retry_cycle)``: ``retry_cycle`` is the earliest
+        future cycle worth re-attempting at (None when only an external
+        event — a memory response — can unblock the core).
+        """
+        if self.port_free_cycle > cycle:
+            return False, self.port_free_cycle
+        num_warps = len(self.warps)
+        if num_warps == 0:
+            return False, None
+        min_ready: Optional[int] = None
+        structural_stall = False
+        for offset in range(num_warps):
+            index = (self._rr_index + offset) % num_warps
+            warp = self.warps[index]
+            if warp.finished:
+                continue
+            if warp.ready_cycle > cycle:
+                if min_ready is None or warp.ready_cycle < min_ready:
+                    min_ready = warp.ready_cycle
+                continue
+            inst = warp.stream[warp.pc_index]
+            if inst.wait_tokens and not warp.deps_ready(inst):
+                continue
+            if inst.is_memory and inst.space == MemSpace.GLOBAL:
+                if not self._mrq_has_room(inst):
+                    if inst.op == Op.PREFETCH:
+                        # A throttle-style structural drop never stalls the
+                        # warp: the prefetch instruction retires, its
+                        # requests are dropped.
+                        pass
+                    else:
+                        structural_stall = True
+                        continue
+            self._issue(warp, inst, cycle)
+            if self.config.core.scheduler != "oldest":
+                self._rr_index = (index + 1) % num_warps
+            return True, None
+        self.stall_cycles += 1
+        if structural_stall:
+            # MRQ space frees when a response arrives (an external event),
+            # but responses are only observed on event boundaries anyway.
+            return False, min_ready
+        return False, min_ready
+
+    def _mrq_has_room(self, inst: WarpInstruction) -> bool:
+        """Conservatively check MRQ space for a memory instruction."""
+        needed = 0
+        mrq = self.mrq
+        pcache = self.pcache
+        for line in inst.lines:
+            if mrq.lookup(line) is not None:
+                continue
+            if inst.op == Op.LOAD and pcache.contains(line):
+                continue
+            needed += 1
+        return len(mrq) + needed <= mrq.size
+
+    def _issue(self, warp: Warp, inst: WarpInstruction, cycle: int) -> None:
+        occupancy = self._issue_cycles[inst.op]
+        self.port_free_cycle = cycle + occupancy
+        self.instructions += 1
+        op = inst.op
+        if op == Op.LOAD:
+            self._issue_load(warp, inst, cycle)
+        elif op == Op.STORE:
+            self._issue_store(warp, inst, cycle)
+        elif op == Op.PREFETCH:
+            self.prefetch_instructions += 1
+            self._issue_software_prefetch(warp, inst, cycle)
+        warp.advance(cycle, cycle + occupancy)
+        if warp.finished:
+            self._retire_warp(warp)
+
+    def _issue_load(self, warp: Warp, inst: WarpInstruction, cycle: int) -> None:
+        self.demand_loads += 1
+        if inst.space != MemSpace.GLOBAL or self.config.perfect_memory:
+            # Shared/constant accesses (and all accesses under the perfect
+            # memory model) complete immediately.
+            warp.begin_load(inst.token, 0)
+            return
+        pending = 0
+        for line in inst.lines:
+            self.demand_line_accesses += 1
+            if self.pcache.demand_lookup(line):
+                continue
+            self.demand_lines_to_memory += 1
+            request = self.mrq.access_demand(
+                line, warp, inst.token, inst.pc, warp.warp_id, cycle
+            )
+            if request is None:
+                # Pre-check said there was room; a same-instruction line
+                # collision can only reduce the requirement, so this is
+                # unreachable in practice — treat defensively as a hit.
+                continue
+            if request.late_prefetch and request.was_prefetch:
+                pass  # late-prefetch accounting happens at response time
+            pending += 1
+        warp.begin_load(inst.token, pending)
+        if self.prefetcher is not None:
+            targets = self.prefetcher.observe(
+                inst.pc, warp.warp_id, inst.base_addr, cycle
+            )
+            if targets:
+                footprint = len(inst.lines)
+                self._issue_hw_prefetches(targets, inst, warp.warp_id, footprint, cycle)
+
+    def _issue_store(self, warp: Warp, inst: WarpInstruction, cycle: int) -> None:
+        if inst.space != MemSpace.GLOBAL or self.config.perfect_memory:
+            return
+        for line in inst.lines:
+            self.mrq.access_store(line, inst.pc, warp.warp_id, cycle)
+
+    # ------------------------------------------------------------------
+    # Prefetch request path (Fig. 9: throttle engine gates all prefetches)
+    # ------------------------------------------------------------------
+
+    def _issue_hw_prefetches(
+        self,
+        targets: Sequence[int],
+        inst: WarpInstruction,
+        warp_id: int,
+        footprint_lines: int,
+        cycle: int,
+    ) -> None:
+        """Expand prefetcher targets over the warp's coalesced footprint.
+
+        The prefetcher is trained on the warp's base address; the demand
+        instruction touched ``footprint_lines`` lines, so each target covers
+        the same footprint shifted by the predicted stride.
+        """
+        line_bytes = self.config.prefetch_cache.line_bytes
+        for target in targets:
+            if target < 0:
+                continue
+            delta = target - inst.base_addr
+            for line in inst.lines[:footprint_lines]:
+                self._prefetch_line(
+                    (line + delta) // line_bytes * line_bytes, inst.pc, warp_id, cycle
+                )
+
+    def _issue_software_prefetch(
+        self, warp: Warp, inst: WarpInstruction, cycle: int
+    ) -> None:
+        if self.config.perfect_memory:
+            return
+        for line in inst.lines:
+            self._prefetch_line(line, inst.pc, warp.warp_id, cycle)
+
+    def _prefetch_line(self, line: int, pc: int, warp_id: int, cycle: int) -> None:
+        """Route one prefetch line request through throttle, caches, MRQ."""
+        if line < 0:
+            return
+        self.prefetch_generated += 1
+        if not self.throttle.allow_prefetch():
+            self.prefetch_throttled += 1
+            return
+        if self.pcache.contains(line):
+            self.prefetch_redundant += 1
+            return
+        if self.mrq.lookup(line) is not None:
+            self.prefetch_redundant += 1
+            self.mrq.access_prefetch(line, pc, warp_id, cycle)
+            return
+        request = self.mrq.access_prefetch(line, pc, warp_id, cycle)
+        if request is not None:
+            self.prefetch_issued += 1
+            self._window_prefetch_issued += 1
+
+    # ------------------------------------------------------------------
+    # Responses
+    # ------------------------------------------------------------------
+
+    def on_response(self, request: MemoryRequest, cycle: int) -> None:
+        """A line arrived from memory: wake waiters, fill prefetch cache."""
+        entry = self.mrq.complete(request.line_addr)
+        if entry is None:
+            return
+        if entry.is_demand or entry.late_prefetch:
+            self.demand_latency_sum += cycle - entry.create_cycle
+            self.demand_latency_count += 1
+        for warp, token in entry.waiters:
+            warp.line_complete(token)
+        if entry.was_prefetch:
+            if entry.late_prefetch:
+                self.late_prefetches += 1
+                self._window_late += 1
+                self.pcache.fill(request.line_addr, cycle, already_used=True)
+            else:
+                self.pcache.fill(request.line_addr, cycle, already_used=False)
+
+    # ------------------------------------------------------------------
+    # Periodic throttle / feedback update
+    # ------------------------------------------------------------------
+
+    def periodic_update(self, cycle: int) -> None:
+        """End-of-period throttle adjustment and prefetcher feedback."""
+        pcache_snap = self.pcache.snapshot_and_reset_window()
+        mrq_snap = self.mrq.snapshot_and_reset_window()
+        window = ThrottleWindow(
+            early_evictions=pcache_snap["early_evictions"],
+            useful_prefetches=pcache_snap["useful"],
+            intra_core_merges=mrq_snap["merges"],
+            total_requests=mrq_snap["requests"],
+            prefetch_cache_hits=pcache_snap["hits"],
+        )
+        issued = self._window_prefetch_issued
+        late = self._window_late
+        useful = pcache_snap["useful"]
+        self._window_prefetch_issued = 0
+        self._window_late = 0
+        if self.throttle.enabled:
+            self.throttle.update(window)
+        if self.prefetcher is not None:
+            self.prefetcher.periodic_update(
+                {
+                    "issued": float(issued),
+                    "useful": float(useful),
+                    "late": float(late),
+                    "accuracy": (useful / issued) if issued else 0.0,
+                    "lateness": (late / issued) if issued else 0.0,
+                    "early_evictions": float(window.early_evictions),
+                }
+            )

@@ -1,0 +1,325 @@
+"""Off-chip DRAM model: channels, banks, row buffers, request buffers.
+
+Paper Table II configures 8 channels and 16 banks with 2KB pages, 57.6 GB/s
+of bandwidth, and tCL/tRCD/tRP timings; demand requests have higher priority
+than prefetch requests.  Paper Fig. 2b: requests from different cores are
+buffered in the memory-request buffer of the DRAM controller, and an
+overlapping new request merges with the buffered one (*inter-core merging*)
+— this is what occasionally salvages inter-thread prefetches issued from the
+wrong core (Section III-A2).
+
+Scheduling per channel is FR-FCFS-like with strict demand-over-prefetch
+priority: demand first, then open-row hits, then arrival order.  The data
+bus serializes one 64B burst per ``burst_cycles``; bank preparation
+(precharge/activate) overlaps with earlier bursts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.sim.config import DramConfig
+from repro.sim.memory_request import MemoryRequest
+
+_seq = itertools.count()
+
+
+class BufferEntry:
+    """One line-sized transaction in a channel's request buffer.
+
+    Multiple :class:`MemoryRequest` objects (possibly from different cores)
+    can ride one entry via inter-core merging.
+    """
+
+    __slots__ = (
+        "line_addr", "bank", "row", "requesters", "is_store", "arrival",
+        "ready_cycle", "demand",
+    )
+
+    def __init__(
+        self,
+        line_addr: int,
+        bank: int,
+        row: int,
+        request: MemoryRequest,
+        arrival: int,
+        ready_cycle: int,
+    ) -> None:
+        self.line_addr = line_addr
+        self.bank = bank
+        self.row = row
+        self.requesters: List[MemoryRequest] = [request]
+        self.is_store = request.is_store
+        self.arrival = arrival
+        # The controller/GDDR protocol pipeline is modelled on the request
+        # path: the entry becomes schedulable only after traversing it.  A
+        # demand that merges into an in-flight prefetch therefore inherits
+        # the prefetch's pipeline progress — the head start is real.
+        self.ready_cycle = ready_cycle
+        self.demand = request.is_demand
+
+    def merge(self, request: MemoryRequest) -> None:
+        self.requesters.append(request)
+        if request.is_demand:
+            self.demand = True
+
+    def is_demand_now(self) -> bool:
+        """Current priority class of this entry.
+
+        A prefetch can be promoted to demand priority *after* it was sent:
+        a demand access merging into the in-flight request at the core's
+        MRQ (a late prefetch) flips the request object's ``is_prefetch``,
+        and the scheduler must honour the promotion or merged demands
+        starve behind the pure-demand stream.
+        """
+        if self.demand:
+            return True
+        for request in self.requesters:
+            if request.is_demand:
+                self.demand = True
+                return True
+        return False
+
+
+class _Bank:
+    """Per-bank row-buffer state.
+
+    ``row_ready_cycle`` is when the currently-open row became (or becomes)
+    usable; column accesses to an open row pipeline at burst cadence, so a
+    streaming sequence of row hits is limited by the channel data bus, not
+    by the bank.
+    """
+
+    __slots__ = ("row_ready_cycle", "open_row")
+
+    def __init__(self) -> None:
+        self.row_ready_cycle = 0
+        self.open_row: Optional[int] = None
+
+
+class DramChannel:
+    """One DRAM channel: banks, a request buffer, and a shared data bus.
+
+    When the optional memory-side L2 is configured (the "more complex
+    hierarchies" extension of the paper's conclusion), read requests probe
+    the channel's L2 slice on arrival: a hit completes after ``l2_latency``
+    without touching the banks or the data bus; misses follow the normal
+    DRAM path and fill the L2 on completion.
+    """
+
+    def __init__(self, channel_id: int, config: DramConfig) -> None:
+        self.channel_id = channel_id
+        self.config = config
+        self.banks = [_Bank() for _ in range(config.banks_per_channel)]
+        self.pending: List[BufferEntry] = []
+        self._by_line: Dict[int, BufferEntry] = {}
+        self._completing: List[Tuple[int, int, BufferEntry]] = []
+        self.bus_busy_until = 0
+        self.next_pick_cycle = 0
+        if config.l2_size_bytes > 0:
+            from repro.sim.caches import SetAssociativeCache
+
+            self.l2: Optional[object] = SetAssociativeCache(
+                config.l2_size_bytes, config.l2_associativity, config.line_bytes
+            )
+        else:
+            self.l2 = None
+        # Statistics.
+        self.row_hits = 0
+        self.row_misses = 0
+        self.lines_transferred = 0
+        self.inter_core_merges = 0
+        self.l2_hits = 0
+        self.l2_misses = 0
+
+    def arrive(self, request: MemoryRequest, bank: int, row: int, cycle: int) -> None:
+        """Accept a request from the interconnect, merging when possible."""
+        if not request.is_store:
+            entry = self._by_line.get(request.line_addr)
+            if entry is not None and not entry.is_store:
+                entry.merge(request)
+                self.inter_core_merges += 1
+                return
+        if self.l2 is not None and not request.is_store:
+            if self.l2.lookup(request.line_addr) is not None:
+                self.l2_hits += 1
+                entry = BufferEntry(
+                    request.line_addr, bank, row, request, cycle,
+                    cycle + self.config.l2_latency,
+                )
+                heapq.heappush(
+                    self._completing,
+                    (cycle + self.config.l2_latency, next(_seq), entry),
+                )
+                return
+            self.l2_misses += 1
+        ready = cycle + self.config.pipeline_latency
+        entry = BufferEntry(request.line_addr, bank, row, request, cycle, ready)
+        self.pending.append(entry)
+        if not entry.is_store:
+            self._by_line[request.line_addr] = entry
+
+    def _pick(self, cycle: int) -> Optional[int]:
+        """Index of the best *schedulable* entry: demand > row-hit > oldest."""
+        best_index = None
+        best_key = None
+        for i, entry in enumerate(self.pending):
+            if entry.ready_cycle > cycle:
+                continue
+            bank = self.banks[entry.bank]
+            row_hit = bank.open_row == entry.row
+            key = (
+                0 if (self.config.demand_priority and entry.is_demand_now()) else 1,
+                0 if row_hit else 1,
+                entry.arrival,
+            )
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = i
+        return best_index
+
+    def step(self, cycle: int) -> List[BufferEntry]:
+        """Advance scheduling up to ``cycle``; return completed entries."""
+        while self.pending and self.next_pick_cycle <= cycle:
+            index = self._pick(cycle)
+            if index is None:
+                break
+            entry = self.pending.pop(index)
+            self._service(entry, max(self.next_pick_cycle, entry.ready_cycle))
+        completed = []
+        heap = self._completing
+        while heap and heap[0][0] <= cycle:
+            done_cycle, _, entry = heapq.heappop(heap)
+            if not entry.is_store:
+                self._by_line.pop(entry.line_addr, None)
+                if self.l2 is not None:
+                    self.l2.insert(entry.line_addr, True)
+            completed.append(entry)
+        return completed
+
+    def _service(self, entry: BufferEntry, pick_cycle: int) -> None:
+        bank = self.banks[entry.bank]
+        cfg = self.config
+        if bank.open_row == entry.row:
+            # Row hit: column accesses pipeline; only tCL from the command
+            # plus data-bus availability constrain the burst.
+            row_ready = bank.row_ready_cycle
+            self.row_hits += 1
+        elif bank.open_row is None:
+            row_ready = pick_cycle + cfg.t_rcd
+            self.row_misses += 1
+        else:
+            row_ready = pick_cycle + cfg.t_rp + cfg.t_rcd
+            self.row_misses += 1
+        cas_cycle = max(pick_cycle, row_ready)
+        burst_start = max(cas_cycle + cfg.t_cl, self.bus_busy_until)
+        done = burst_start + cfg.burst_cycles
+        bank.open_row = entry.row
+        bank.row_ready_cycle = row_ready
+        self.bus_busy_until = done
+        self.next_pick_cycle = burst_start
+        self.lines_transferred += 1
+        heapq.heappush(self._completing, (done, next(_seq), entry))
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which this channel can make progress."""
+        candidates = []
+        if self._completing:
+            candidates.append(self._completing[0][0])
+        if self.pending:
+            min_ready = None
+            any_ready = False
+            for entry in self.pending:
+                if entry.ready_cycle <= cycle:
+                    any_ready = True
+                    break
+                if min_ready is None or entry.ready_cycle < min_ready:
+                    min_ready = entry.ready_cycle
+            if any_ready:
+                candidates.append(max(cycle + 1, self.next_pick_cycle))
+            elif min_ready is not None:
+                candidates.append(min_ready)
+        return min(candidates) if candidates else None
+
+    @property
+    def idle(self) -> bool:
+        return not self.pending and not self._completing
+
+
+class Dram:
+    """The full DRAM subsystem: address mapping plus all channels.
+
+    Address mapping interleaves 64B lines across channels, then groups
+    ``row_bytes`` of per-channel lines into rows striped over banks, so a
+    contiguous sweep of physical memory produces row hits on every channel.
+    """
+
+    def __init__(self, config: DramConfig) -> None:
+        self.config = config
+        self.channels = [DramChannel(i, config) for i in range(config.num_channels)]
+        self._lines_per_row = max(1, config.row_bytes // config.line_bytes)
+
+    def map_address(self, line_addr: int) -> Tuple[int, int, int]:
+        """Return (channel, bank, row) for a 64B-aligned line address.
+
+        The channel index XOR-folds higher address bits so power-of-two
+        strides (e.g. a 2KB-strided uncoalesced sweep) do not camp on one
+        channel — the standard anti-camping hash real memory controllers
+        use.
+        """
+        line = line_addr // self.config.line_bytes
+        channels = self.config.num_channels
+        channel = (
+            line ^ (line >> 3) ^ (line >> 6) ^ (line >> 9) ^ (line >> 12)
+            ^ (line >> 15) ^ (line >> 18)
+        ) % channels
+        local = line // channels
+        bank = (local // self._lines_per_row) % self.config.banks_per_channel
+        row = local // (self._lines_per_row * self.config.banks_per_channel)
+        return channel, bank, row
+
+    def arrive(self, request: MemoryRequest, cycle: int) -> None:
+        channel, bank, row = self.map_address(request.line_addr)
+        self.channels[channel].arrive(request, bank, row, cycle)
+
+    def step(self, cycle: int) -> List[BufferEntry]:
+        completed: List[BufferEntry] = []
+        for channel in self.channels:
+            completed.extend(channel.step(cycle))
+        return completed
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        candidates = [
+            c for c in (ch.next_event_cycle(cycle) for ch in self.channels) if c is not None
+        ]
+        return min(candidates) if candidates else None
+
+    @property
+    def idle(self) -> bool:
+        return all(channel.idle for channel in self.channels)
+
+    @property
+    def total_lines_transferred(self) -> int:
+        return sum(channel.lines_transferred for channel in self.channels)
+
+    @property
+    def total_row_hits(self) -> int:
+        return sum(channel.row_hits for channel in self.channels)
+
+    @property
+    def total_row_misses(self) -> int:
+        return sum(channel.row_misses for channel in self.channels)
+
+    @property
+    def total_inter_core_merges(self) -> int:
+        return sum(channel.inter_core_merges for channel in self.channels)
+
+    @property
+    def total_l2_hits(self) -> int:
+        return sum(channel.l2_hits for channel in self.channels)
+
+    @property
+    def total_l2_misses(self) -> int:
+        return sum(channel.l2_misses for channel in self.channels)

@@ -1,0 +1,225 @@
+"""Top-level GPU simulator: cores + interconnect + DRAM + block dispatch.
+
+Drives the whole machine with an event-accelerated cycle loop: every cycle
+in which any component can make progress is simulated exactly; stretches
+where all warps are blocked on memory are skipped to the next event
+(response arrival, DRAM burst slot, issue-port release), which keeps the
+pure-Python model fast enough for full parameter sweeps while preserving
+cycle-accurate ordering.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.base import HardwarePrefetcher
+from repro.core.throttle import ThrottleEngine
+from repro.sim.config import GpuConfig
+from repro.sim.core import Block, Core
+from repro.sim.dram import Dram
+from repro.sim.interconnect import Interconnect
+from repro.sim.stats import SimStats
+
+PrefetcherFactory = Callable[[int], Optional[HardwarePrefetcher]]
+
+
+class SimulationResult:
+    """Outcome of one simulation: the stats plus handles for inspection."""
+
+    def __init__(self, stats: SimStats, cores: List[Core], dram: Dram) -> None:
+        self.stats = stats
+        self.cores = cores
+        self.dram = dram
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def cpi(self) -> float:
+        return self.stats.cpi
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Execution-time speedup of this run relative to ``baseline``."""
+        if self.stats.cycles == 0:
+            return 0.0
+        return baseline.stats.cycles / self.stats.cycles
+
+
+class GpuSimulator:
+    """The simulated GPU (paper Fig. 1)."""
+
+    def __init__(
+        self,
+        config: GpuConfig,
+        prefetcher_factory: Optional[PrefetcherFactory] = None,
+    ) -> None:
+        self.config = config
+        factory = prefetcher_factory or (lambda core_id: None)
+        self.cores = [
+            Core(
+                core_id,
+                config,
+                prefetcher=factory(core_id),
+                throttle=ThrottleEngine(config.throttle),
+            )
+            for core_id in range(config.num_cores)
+        ]
+        self.interconnect = Interconnect(config.interconnect, config.num_cores)
+        self.dram = Dram(config.dram)
+        self._block_queues = [deque() for _ in range(config.num_cores)]
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    # Workload setup
+    # ------------------------------------------------------------------
+
+    def load_workload(self, blocks: Sequence[Block], max_blocks_per_core: int) -> None:
+        """Queue a kernel's thread blocks for dispatch.
+
+        Blocks are partitioned contiguously across cores (core 0 gets the
+        first chunk, core 1 the next, ...), so consecutive blocks — and
+        therefore consecutive warp ids — stay on the same core across
+        waves.  This is what makes cross-block inter-thread prefetches
+        land in the right core's prefetch cache; the paper's stated IP
+        failure mode ("the target warp has been assigned to a different
+        core") then occurs exactly at partition boundaries.
+        """
+        for core in self.cores:
+            core.max_blocks = max(1, max_blocks_per_core)
+        num_cores = self.config.num_cores
+        self._block_queues = [deque() for _ in range(num_cores)]
+        total = len(blocks)
+        base = total // num_cores
+        extra = total % num_cores
+        index = 0
+        for core_id in range(num_cores):
+            count = base + (1 if core_id < extra else 0)
+            for _ in range(count):
+                self._block_queues[core_id].append(blocks[index])
+                index += 1
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        """Fill each core's free block slots from its own partition."""
+        for core, queue in zip(self.cores, self._block_queues):
+            while queue and core.has_free_block_slot():
+                core.assign_block(queue.popleft())
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Simulate until every dispatched warp retires; return statistics."""
+        config = self.config
+        cores = self.cores
+        icnt = self.interconnect
+        dram = self.dram
+        mrqs = [core.mrq for core in cores]
+        throttling = config.throttle.enabled
+        cycle = self.cycle
+        max_cycles = config.max_cycles
+
+        while cycle < max_cycles:
+            # 1. Deliver responses that reached their core.
+            for core_id, request in icnt.pop_core_arrivals(cycle):
+                cores[core_id].on_response(request, cycle)
+            # 2. Deliver requests that reached the memory controllers.
+            for request in icnt.pop_memory_arrivals(cycle):
+                dram.arrive(request, cycle)
+            # 3. Advance DRAM; route completed reads back through the network.
+            for entry in dram.step(cycle):
+                if entry.is_store:
+                    continue
+                for request in entry.requesters:
+                    icnt.send_response(cycle, request.core_id, request)
+            # 4. Periodic throttle / feedback updates.
+            if throttling:
+                for core in cores:
+                    if cycle >= core.throttle.next_update_cycle:
+                        core.periodic_update(cycle)
+            # 5. Refill freed block slots.
+            self._dispatch()
+            # 6. Issue.
+            candidates: List[int] = []
+            for core in cores:
+                issued, retry = core.try_issue(cycle)
+                if issued:
+                    candidates.append(core.port_free_cycle)
+                elif retry is not None:
+                    candidates.append(retry)
+            # 7. Inject requests into the network.
+            icnt.inject_requests(cycle, mrqs)
+
+            if self._finished():
+                break
+
+            # 8. Find the next cycle where anything can happen.
+            event = icnt.next_event_cycle()
+            if event is not None:
+                candidates.append(event)
+            event = dram.next_event_cycle(cycle)
+            if event is not None:
+                candidates.append(event)
+            if any(mrq.has_sendable() for mrq in mrqs):
+                candidates.append(cycle + 1)
+            if throttling:
+                candidates.append(min(c.throttle.next_update_cycle for c in cores))
+            if not candidates:
+                raise RuntimeError(
+                    f"simulator deadlock at cycle {cycle}: no progress possible"
+                )
+            cycle = max(cycle + 1, min(candidates))
+
+        self.cycle = cycle
+        return SimulationResult(self._collect_stats(cycle), cores, dram)
+
+    def _finished(self) -> bool:
+        return all(not q for q in self._block_queues) and all(
+            core.drained for core in self.cores
+        )
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def _collect_stats(self, cycle: int) -> SimStats:
+        stats = SimStats(cycles=cycle, num_cores=self.config.num_cores)
+        for core in self.cores:
+            stats.instructions += core.instructions
+            stats.prefetch_instructions += core.prefetch_instructions
+            stats.demand_loads += core.demand_loads
+            stats.demand_lines_to_memory += core.demand_lines_to_memory
+            stats.demand_latency_sum += core.demand_latency_sum
+            stats.demand_latency_count += core.demand_latency_count
+            stats.prefetch_requests_generated += core.prefetch_generated
+            stats.prefetch_requests_throttled += core.prefetch_throttled
+            stats.prefetch_requests_redundant += core.prefetch_redundant
+            stats.prefetch_requests_issued += core.prefetch_issued
+            stats.useful_prefetches += core.pcache.total_useful
+            stats.late_prefetches += core.late_prefetches
+            stats.early_evictions += core.pcache.total_early_evictions
+            stats.prefetch_cache_hits += core.pcache.total_hits
+            stats.prefetch_cache_misses += core.pcache.total_misses
+            stats.intra_core_merges += core.mrq.total_merges
+            stats.total_mrq_requests += core.mrq.total_requests
+            stats.stall_cycles += core.stall_cycles
+        stats.inter_core_merges = self.dram.total_inter_core_merges
+        stats.dram_lines_transferred = self.dram.total_lines_transferred
+        stats.dram_row_hits = self.dram.total_row_hits
+        stats.dram_row_misses = self.dram.total_row_misses
+        return stats
+
+
+def run_workload(
+    config: GpuConfig,
+    blocks: Sequence[Block],
+    max_blocks_per_core: int,
+    prefetcher_factory: Optional[PrefetcherFactory] = None,
+) -> SimulationResult:
+    """Convenience wrapper: build a simulator, load a workload, run it."""
+    sim = GpuSimulator(config, prefetcher_factory)
+    sim.load_workload(blocks, max_blocks_per_core)
+    return sim.run()

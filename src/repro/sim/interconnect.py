@@ -1,0 +1,115 @@
+"""Core<->memory interconnection network.
+
+Paper Table II: "20-cycle fixed latency, at most 1 req. from every 2 cores
+per cycle".  We model the request path as a token-bucket arbiter (an
+injection budget of ``num_cores / cores_per_injection_slot`` requests per
+cycle, granted round-robin over the cores) feeding a fixed-latency pipe.
+Responses ride a fixed-latency return pipe without a bandwidth limit (the
+paper does not constrain the response path).
+
+The arbiter accumulates credit across skipped cycles so the simulator's
+cycle-skipping fast path conserves bandwidth.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.sim.config import InterconnectConfig
+from repro.sim.memory_request import MemoryRequest
+from repro.sim.mrq import MemoryRequestQueue
+
+_seq = itertools.count()
+
+
+class Interconnect:
+    """Fixed-latency, injection-limited request/response network."""
+
+    def __init__(self, config: InterconnectConfig, num_cores: int) -> None:
+        self.config = config
+        self.num_cores = num_cores
+        self.slots_per_cycle = max(1, num_cores // config.cores_per_injection_slot)
+        self._rr_pointer = 0
+        self._credit = 0.0
+        self._last_step_cycle = 0
+        self._to_memory: List[Tuple[int, int, MemoryRequest]] = []
+        self._to_core: List[Tuple[int, int, int, MemoryRequest]] = []
+        self.total_injected = 0
+
+    def inject_requests(self, cycle: int, mrqs: List[MemoryRequestQueue]) -> None:
+        """Arbiter: pull sendable requests from the MRQs into the pipe.
+
+        Grants up to ``slots_per_cycle`` injections per elapsed cycle,
+        round-robin over cores, carrying unused credit forward (bounded to
+        one cycle's worth so a long idle period cannot bank unbounded
+        bandwidth).
+        """
+        elapsed = cycle - self._last_step_cycle
+        self._last_step_cycle = cycle
+        self._credit = min(
+            self._credit + elapsed * self.slots_per_cycle,
+            float(self.slots_per_cycle) * max(1, elapsed),
+        )
+        while self._credit >= 1.0:
+            request = self._pick_next(cycle, mrqs)
+            if request is None:
+                break
+            self._credit -= 1.0
+            self.total_injected += 1
+            if not request.is_store:
+                arrival = cycle + self.config.latency
+                heapq.heappush(self._to_memory, (arrival, next(_seq), request))
+            else:
+                # Stores still traverse the network and consume DRAM write
+                # bandwidth; they carry no response.
+                arrival = cycle + self.config.latency
+                heapq.heappush(self._to_memory, (arrival, next(_seq), request))
+
+    def _pick_next(
+        self, cycle: int, mrqs: List[MemoryRequestQueue]
+    ) -> Optional[MemoryRequest]:
+        for offset in range(self.num_cores):
+            core_id = (self._rr_pointer + offset) % self.num_cores
+            request = mrqs[core_id].pop_sendable(cycle)
+            if request is not None:
+                self._rr_pointer = (core_id + 1) % self.num_cores
+                return request
+        return None
+
+    def send_response(self, cycle: int, core_id: int, request: MemoryRequest) -> None:
+        """Schedule a response delivery to a core after the fixed latency."""
+        arrival = cycle + self.config.latency
+        heapq.heappush(self._to_core, (arrival, next(_seq), core_id, request))
+
+    def pop_memory_arrivals(self, cycle: int) -> List[MemoryRequest]:
+        """Requests reaching the memory controllers at or before ``cycle``."""
+        arrivals = []
+        heap = self._to_memory
+        while heap and heap[0][0] <= cycle:
+            arrivals.append(heapq.heappop(heap)[2])
+        return arrivals
+
+    def pop_core_arrivals(self, cycle: int) -> List[Tuple[int, MemoryRequest]]:
+        """(core_id, request) responses arriving at or before ``cycle``."""
+        arrivals = []
+        heap = self._to_core
+        while heap and heap[0][0] <= cycle:
+            _, _, core_id, request = heapq.heappop(heap)
+            arrivals.append((core_id, request))
+        return arrivals
+
+    def next_event_cycle(self) -> Optional[int]:
+        """Earliest in-flight arrival, for the simulator's cycle skipping."""
+        candidates = []
+        if self._to_memory:
+            candidates.append(self._to_memory[0][0])
+        if self._to_core:
+            candidates.append(self._to_core[0][0])
+        return min(candidates) if candidates else None
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is in flight in either direction."""
+        return not self._to_memory and not self._to_core

@@ -1,0 +1,168 @@
+"""Warp-instruction trace records.
+
+The simulator is trace driven (the paper feeds GPUOcelot traces of PTX
+kernels; we feed synthetic traces produced by :mod:`repro.trace`).  A trace is
+a list of :class:`WarpInstruction` per warp.  Each record is one *warp*
+instruction: a single instruction executed in lockstep by all threads of the
+warp (SIMT), with memory instructions carrying the post-coalescing set of
+64-byte line addresses the warp touches.
+
+Dependencies are expressed with *load tokens*: each LOAD allocates a token id
+unique within its warp, and any later instruction lists the tokens it must
+wait for.  This models the paper's in-order core in which "a warp may continue
+to execute new instructions in the presence of multiple prior outstanding
+memory requests, provided that these instructions do not depend on the prior
+requests" (Section II-B1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence, Tuple
+
+
+class Op(enum.IntEnum):
+    """Warp-instruction opcode classes used by the timing model."""
+
+    COMPUTE = 0
+    IMUL = 1
+    FDIV = 2
+    LOAD = 3
+    STORE = 4
+    PREFETCH = 5
+
+
+class MemSpace(enum.IntEnum):
+    """Memory space of a memory instruction."""
+
+    GLOBAL = 0
+    SHARED = 1
+    CONST = 2
+
+
+#: Ops that access memory and carry line addresses.
+MEMORY_OPS = frozenset({Op.LOAD, Op.STORE, Op.PREFETCH})
+
+
+class WarpInstruction:
+    """One dynamic warp instruction in a warp's trace.
+
+    Attributes:
+        op: Opcode class (timing behaviour).
+        pc: Static program counter, used by PC-indexed prefetchers and to
+            identify delinquent loads.
+        wait_tokens: Load tokens that must be complete before issue.
+        token: For LOAD, the token id this load produces (-1 otherwise).
+        lines: For memory ops, the coalesced 64B-aligned line addresses the
+            warp accesses (empty tuple otherwise).
+        base_addr: For memory ops, the byte address of lane 0; hardware
+            prefetchers train on this address.
+        space: Memory space for memory ops.
+    """
+
+    __slots__ = ("op", "pc", "wait_tokens", "token", "lines", "base_addr", "space")
+
+    def __init__(
+        self,
+        op: Op,
+        pc: int = 0,
+        wait_tokens: Tuple[int, ...] = (),
+        token: int = -1,
+        lines: Tuple[int, ...] = (),
+        base_addr: int = 0,
+        space: MemSpace = MemSpace.GLOBAL,
+    ) -> None:
+        self.op = op
+        self.pc = pc
+        self.wait_tokens = wait_tokens
+        self.token = token
+        self.lines = lines
+        self.base_addr = base_addr
+        self.space = space
+
+    @property
+    def is_memory(self) -> bool:
+        """Whether this instruction accesses memory."""
+        return self.op in MEMORY_OPS
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"{self.op.name} pc=0x{self.pc:x}"]
+        if self.wait_tokens:
+            parts.append(f"wait={self.wait_tokens}")
+        if self.token >= 0:
+            parts.append(f"tok={self.token}")
+        if self.lines:
+            parts.append(f"lines[{len(self.lines)}]@0x{self.lines[0]:x}")
+        return f"<WarpInstruction {' '.join(parts)}>"
+
+
+def compute(pc: int = 0, wait_tokens: Sequence[int] = ()) -> WarpInstruction:
+    """Build an ordinary 4-cycle compute warp-instruction."""
+    return WarpInstruction(Op.COMPUTE, pc=pc, wait_tokens=tuple(wait_tokens))
+
+
+def imul(pc: int = 0, wait_tokens: Sequence[int] = ()) -> WarpInstruction:
+    """Build a 16-cycle integer-multiply warp-instruction."""
+    return WarpInstruction(Op.IMUL, pc=pc, wait_tokens=tuple(wait_tokens))
+
+
+def fdiv(pc: int = 0, wait_tokens: Sequence[int] = ()) -> WarpInstruction:
+    """Build a 32-cycle FP-divide warp-instruction."""
+    return WarpInstruction(Op.FDIV, pc=pc, wait_tokens=tuple(wait_tokens))
+
+
+def load(
+    pc: int,
+    token: int,
+    lines: Sequence[int],
+    base_addr: Optional[int] = None,
+    wait_tokens: Sequence[int] = (),
+    space: MemSpace = MemSpace.GLOBAL,
+) -> WarpInstruction:
+    """Build a LOAD producing ``token`` and touching ``lines``."""
+    lines_t = tuple(lines)
+    if base_addr is None:
+        base_addr = lines_t[0] if lines_t else 0
+    return WarpInstruction(
+        Op.LOAD,
+        pc=pc,
+        wait_tokens=tuple(wait_tokens),
+        token=token,
+        lines=lines_t,
+        base_addr=base_addr,
+        space=space,
+    )
+
+
+def store(
+    pc: int,
+    lines: Sequence[int],
+    wait_tokens: Sequence[int] = (),
+    space: MemSpace = MemSpace.GLOBAL,
+) -> WarpInstruction:
+    """Build a STORE touching ``lines`` (fire-and-forget)."""
+    lines_t = tuple(lines)
+    return WarpInstruction(
+        Op.STORE,
+        pc=pc,
+        wait_tokens=tuple(wait_tokens),
+        lines=lines_t,
+        base_addr=lines_t[0] if lines_t else 0,
+        space=space,
+    )
+
+
+def prefetch(pc: int, lines: Sequence[int]) -> WarpInstruction:
+    """Build a software PREFETCH instruction touching ``lines``.
+
+    Software prefetches are non-binding (Fermi-style, Section II-C1): they
+    fill the prefetch cache, never block the issuing warp, and are subject to
+    the adaptive throttle engine.
+    """
+    lines_t = tuple(lines)
+    return WarpInstruction(
+        Op.PREFETCH,
+        pc=pc,
+        lines=lines_t,
+        base_addr=lines_t[0] if lines_t else 0,
+    )

@@ -1,0 +1,152 @@
+"""Per-core memory request queue (MRQ) with intra-core merging.
+
+Paper Section II-B2 and Fig. 2a: each core maintains its own MRQ; new
+requests that overlap with existing MRQ requests are merged with the existing
+request (*intra-core merging*).  The MRQ doubles as the core's MSHR file: an
+entry stays allocated from creation until the response returns (or, for
+stores, until injection), so ``mrq_size`` bounds the core's outstanding
+memory requests.
+
+The throttle engine's *merge ratio* metric (Eq. 6) is the number of
+intra-core merges divided by the total number of requests; both counters are
+maintained here with per-window snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.memory_request import MemoryRequest
+
+
+class MemoryRequestQueue:
+    """MRQ / MSHR file for one core."""
+
+    def __init__(self, core_id: int, size: int) -> None:
+        self.core_id = core_id
+        self.size = size
+        self._entries: Dict[int, MemoryRequest] = {}
+        self._send_queue: List[MemoryRequest] = []
+        # Window counters (throttle period scope).
+        self.window_merges = 0
+        self.window_requests = 0
+        # Run totals.
+        self.total_merges = 0
+        self.total_requests = 0
+        self.total_demand_on_prefetch_merges = 0
+        self.total_prefetch_dropped_full = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.size
+
+    def lookup(self, line_addr: int) -> Optional[MemoryRequest]:
+        """Return the in-flight request for a line, if any."""
+        return self._entries.get(line_addr)
+
+    def has_sendable(self) -> bool:
+        """True if any request is waiting to be injected."""
+        return bool(self._send_queue)
+
+    def _count_access(self, merged: bool) -> None:
+        self.window_requests += 1
+        self.total_requests += 1
+        if merged:
+            self.window_merges += 1
+            self.total_merges += 1
+
+    def access_demand(
+        self, line_addr: int, warp: object, token: int, pc: int, warp_id: int, cycle: int
+    ) -> Optional[MemoryRequest]:
+        """Route a demand line access through the MRQ.
+
+        Returns the (new or merged-into) request, or None when the MRQ is
+        full and no mergeable entry exists (the caller must retry later —
+        a structural stall).
+        """
+        existing = self._entries.get(line_addr)
+        if existing is not None:
+            if existing.is_prefetch:
+                self.total_demand_on_prefetch_merges += 1
+            existing.merge_demand(warp, token, cycle)
+            self._count_access(merged=True)
+            return existing
+        if self.full:
+            return None
+        request = MemoryRequest(line_addr, self.core_id, warp_id, pc, False, cycle)
+        request.add_waiter(warp, token)
+        self._entries[line_addr] = request
+        self._send_queue.append(request)
+        self._count_access(merged=False)
+        return request
+
+    def access_store(self, line_addr: int, pc: int, warp_id: int, cycle: int) -> Optional[MemoryRequest]:
+        """Route a store through the MRQ (fire-and-forget)."""
+        existing = self._entries.get(line_addr)
+        if existing is not None:
+            self._count_access(merged=True)
+            return existing
+        if self.full:
+            return None
+        request = MemoryRequest(line_addr, self.core_id, warp_id, pc, False, cycle, is_store=True)
+        self._entries[line_addr] = request
+        self._send_queue.append(request)
+        self._count_access(merged=False)
+        return request
+
+    def access_prefetch(
+        self, line_addr: int, pc: int, warp_id: int, cycle: int
+    ) -> Optional[MemoryRequest]:
+        """Route a prefetch line access through the MRQ.
+
+        Prefetches merge into any existing entry for the line (a no-op for
+        the memory system); if the MRQ is full the prefetch is dropped
+        rather than stalling the core.
+        """
+        existing = self._entries.get(line_addr)
+        if existing is not None:
+            self._count_access(merged=True)
+            return existing
+        if self.full:
+            self.total_prefetch_dropped_full += 1
+            return None
+        request = MemoryRequest(line_addr, self.core_id, warp_id, pc, True, cycle)
+        self._entries[line_addr] = request
+        self._send_queue.append(request)
+        self._count_access(merged=False)
+        return request
+
+    def pop_sendable(self, cycle: int) -> Optional[MemoryRequest]:
+        """Remove and return the next request to inject (demands first).
+
+        Store entries are freed at injection (no response expected); load
+        and prefetch entries remain allocated until the response returns.
+        """
+        if not self._send_queue:
+            return None
+        pick_index = 0
+        if self._send_queue[0].is_prefetch:
+            for i, req in enumerate(self._send_queue):
+                if not req.is_prefetch:
+                    pick_index = i
+                    break
+        request = self._send_queue.pop(pick_index)
+        request.sent = True
+        request.send_cycle = cycle
+        if request.is_store:
+            self._entries.pop(request.line_addr, None)
+        return request
+
+    def complete(self, line_addr: int) -> Optional[MemoryRequest]:
+        """Free the entry for an arriving response and return it."""
+        return self._entries.pop(line_addr, None)
+
+    def snapshot_and_reset_window(self) -> Dict[str, int]:
+        """Return and clear the current throttle-window counters."""
+        snap = {"merges": self.window_merges, "requests": self.window_requests}
+        self.window_merges = 0
+        self.window_requests = 0
+        return snap

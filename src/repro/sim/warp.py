@@ -1,0 +1,101 @@
+"""Warp execution state.
+
+A warp is the smallest unit of hardware execution (paper Section II-A).  The
+core's in-order scheduler issues one warp-instruction at a time from some
+ready warp, switching warps when source operands are not ready.  Warp state
+tracks the position in the warp's trace, the outstanding load tokens, and the
+earliest cycle the warp may issue again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.sim.isa import WarpInstruction
+
+
+class Warp:
+    """One warp's dynamic execution state on a core."""
+
+    __slots__ = (
+        "warp_id",
+        "block_id",
+        "stream",
+        "pc_index",
+        "ready_cycle",
+        "tokens_done",
+        "_pending_lines",
+        "finish_cycle",
+    )
+
+    def __init__(self, warp_id: int, block_id: int, stream: List[WarpInstruction]) -> None:
+        self.warp_id = warp_id
+        self.block_id = block_id
+        self.stream = stream
+        self.pc_index = 0
+        self.ready_cycle = 0
+        self.tokens_done: Set[int] = set()
+        self._pending_lines: Dict[int, int] = {}
+        self.finish_cycle = -1
+
+    @property
+    def finished(self) -> bool:
+        return self.pc_index >= len(self.stream)
+
+    def peek(self) -> Optional[WarpInstruction]:
+        """The next instruction to issue, or None when finished."""
+        if self.pc_index >= len(self.stream):
+            return None
+        return self.stream[self.pc_index]
+
+    def deps_ready(self, inst: WarpInstruction) -> bool:
+        """True when every load token the instruction waits on is complete."""
+        if not inst.wait_tokens:
+            return True
+        done = self.tokens_done
+        return all(token in done for token in inst.wait_tokens)
+
+    def issuable(self, cycle: int) -> bool:
+        """True when the warp can issue its next instruction this cycle."""
+        if self.pc_index >= len(self.stream) or self.ready_cycle > cycle:
+            return False
+        return self.deps_ready(self.stream[self.pc_index])
+
+    def blocked_on_tokens(self) -> bool:
+        """True when the next instruction waits on an outstanding load."""
+        inst = self.peek()
+        return inst is not None and not self.deps_ready(inst)
+
+    def begin_load(self, token: int, num_lines: int) -> None:
+        """Record an issued LOAD with ``num_lines`` outstanding lines.
+
+        A zero-line load (e.g. fully cache-hit at issue) completes
+        immediately.
+        """
+        if num_lines <= 0:
+            self.tokens_done.add(token)
+        else:
+            self._pending_lines[token] = num_lines
+
+    def line_complete(self, token: int) -> bool:
+        """One line of load ``token`` arrived; True if the token completed."""
+        remaining = self._pending_lines.get(token)
+        if remaining is None:
+            return token in self.tokens_done
+        if remaining <= 1:
+            del self._pending_lines[token]
+            self.tokens_done.add(token)
+            return True
+        self._pending_lines[token] = remaining - 1
+        return False
+
+    def advance(self, cycle: int, next_ready: int) -> None:
+        """Consume the current instruction; warp may issue again at
+        ``next_ready``."""
+        self.pc_index += 1
+        self.ready_cycle = next_ready
+        if self.pc_index >= len(self.stream) and self.finish_cycle < 0:
+            self.finish_cycle = cycle
+
+    def outstanding_loads(self) -> int:
+        return len(self._pending_lines)

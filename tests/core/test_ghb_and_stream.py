@@ -1,0 +1,109 @@
+"""Unit tests for the GHB AC/DC and stream prefetchers."""
+
+from repro.core.ghb import GhbPrefetcher
+from repro.core.stream_pref import StreamPrefetcher
+
+
+class TestGhb:
+    def test_delta_correlation_detects_repeating_pattern(self):
+        pref = GhbPrefetcher(czone_bits=20)
+        # Repeating delta pattern 8, 16 inside one czone.
+        addrs = [0, 8, 24, 32, 48, 56]
+        fired = []
+        for a in addrs:
+            fired = pref.observe(0x10, 0, a, 0)
+        # After ..., 48(+16), 56(+8): pattern (16, 8) seen before at 24->32;
+        # the delta that followed was 16 -> predict 56 + 16.
+        assert fired == [72]
+
+    def test_constant_stride_stream(self):
+        pref = GhbPrefetcher(czone_bits=24)
+        fired = []
+        for i in range(6):
+            fired = pref.observe(0x10, 0, i * 128, i)
+        assert fired == [6 * 128]
+
+    def test_zone_isolation(self):
+        """Accesses in different CZones never correlate."""
+        pref = GhbPrefetcher(czone_bits=12)
+        fired = []
+        for i in range(8):
+            fired.extend(pref.observe(0x10, 0, i * (1 << 14), i))
+        assert fired == []
+
+    def test_warp_aware_zone_key(self):
+        naive = GhbPrefetcher(czone_bits=20)
+        aware = GhbPrefetcher(czone_bits=20, warp_aware=True)
+        # Two warps interleave different strides within one zone.
+        seq = [(0, 0), (1, 7), (0, 64), (1, 7 + 96), (0, 128), (1, 7 + 192),
+               (0, 192), (1, 7 + 288), (0, 256), (1, 7 + 384)]
+        naive_fired, aware_fired = [], []
+        for wid, addr in seq:
+            naive_fired.extend(naive.observe(0x10, wid, addr, 0))
+            aware_fired.extend(aware.observe(0x10, wid, addr, 0))
+        assert aware_fired  # per-warp streams train
+        # The interleaved global delta stream has no repeating pair.
+        assert not naive_fired
+
+    def test_fifo_replacement_bounds_history(self):
+        pref = GhbPrefetcher(ghb_entries=4, czone_bits=24)
+        for i in range(10):
+            pref.observe(0x10, 0, i * 64, i)
+        assert len(pref._ghb) <= 4
+
+    def test_degree_extends_prediction(self):
+        pref = GhbPrefetcher(czone_bits=24, degree=3)
+        fired = []
+        for i in range(8):
+            fired = pref.observe(0x10, 0, i * 64, i)
+        assert fired == [8 * 64, 9 * 64, 10 * 64]
+
+
+class TestStreamPrefetcher:
+    def test_direction_training_then_monitoring(self):
+        pref = StreamPrefetcher()
+        assert pref.observe(0, 0, 0, 0) == []          # allocate
+        assert pref.observe(0, 0, 64, 1) == []         # direction +1 (1st)
+        assert pref.observe(0, 0, 128, 2) == []        # confirmed -> monitoring
+        targets = pref.observe(0, 0, 192, 3)
+        assert targets == [256]
+
+    def test_descending_stream(self):
+        pref = StreamPrefetcher()
+        base = 64 * 100
+        pref.observe(0, 0, base, 0)
+        pref.observe(0, 0, base - 64, 1)
+        pref.observe(0, 0, base - 128, 2)
+        targets = pref.observe(0, 0, base - 192, 3)
+        assert targets == [base - 256]
+
+    def test_direction_break_retrains(self):
+        pref = StreamPrefetcher()
+        for i in range(4):
+            pref.observe(0, 0, i * 64, i)
+        assert pref.observe(0, 0, 2 * 64, 4) == []  # direction flip
+        assert pref.observe(0, 0, 1 * 64, 5) == []  # retraining
+
+    def test_warp_aware_streams_are_private(self):
+        pref = StreamPrefetcher(warp_aware=True)
+        # Warp 0 ascends; warp 1 interleaves in the same region descending.
+        fired = []
+        seq = [(0, 0), (1, 64 * 10), (0, 64), (1, 64 * 9), (0, 128),
+               (1, 64 * 8), (0, 192), (1, 64 * 7)]
+        for wid, addr in seq:
+            fired.extend(pref.observe(0, wid, addr, 0))
+        assert 256 in fired          # warp 0's ascending stream fires
+        assert 64 * 6 in fired       # warp 1's descending stream fires
+
+    def test_capacity_eviction(self):
+        pref = StreamPrefetcher(entries=2)
+        pref.observe(0, 0, 0, 0)
+        pref.observe(0, 0, 1 << 20, 1)
+        pref.observe(0, 0, 1 << 21, 2)
+        assert len(pref) == 2
+
+    def test_far_access_allocates_new_stream(self):
+        pref = StreamPrefetcher()
+        pref.observe(0, 0, 0, 0)
+        pref.observe(0, 0, 1 << 22, 1)
+        assert len(pref) == 2

@@ -1,0 +1,56 @@
+"""The Fig. 5 experiment: warp interleaving vs. prefetcher training.
+
+Reproduces the paper's Figure 5 scenario end to end at the trainer level:
+three warps with a strong per-warp stride (1000) whose accesses a hardware
+prefetcher sees interleaved.  A per-warp-trained detector (MT-HWP's PWS
+table, or warp-id-enhanced StridePC) recovers the stride; a globally
+trained detector sees the deltas 10, 990, -980, ... and never converges.
+"""
+
+from repro.core.mt_hwp import MtHwpPrefetcher
+from repro.core.stride_pc import StridePcPrefetcher
+
+#: Fig. 5's right-hand table: (warp id, address) as seen by the prefetcher.
+FIG5_INTERLEAVED = [
+    (1, 0),
+    (2, 10),
+    (1, 1000),
+    (3, 20),
+    (2, 1010),
+    (3, 1020),
+    (3, 2020),
+    (1, 2000),
+    (2, 2010),
+]
+
+
+def feed(pref):
+    fired = []
+    for wid, addr in FIG5_INTERLEAVED:
+        fired.extend(pref.observe(0x1A, wid, addr, 0))
+    return fired
+
+
+def test_naive_global_training_sees_random_deltas():
+    assert feed(StridePcPrefetcher(warp_aware=False)) == []
+
+
+def test_warp_id_training_recovers_the_stride():
+    fired = feed(StridePcPrefetcher(warp_aware=True))
+    # Each warp's third access fires a prefetch at +1000.
+    assert sorted(fired) == [3000, 3010, 3020]
+
+
+def test_pws_table_recovers_the_stride():
+    pref = MtHwpPrefetcher(enable_gs=False, enable_ip=False)
+    fired = feed(pref)
+    assert sorted(fired) == [3000, 3010, 3020]
+
+
+def test_full_mt_hwp_promotes_the_common_stride():
+    pref = MtHwpPrefetcher()
+    feed(pref)
+    # All three warps trained at stride 1000 -> promoted to the GS table;
+    # a fourth, never-seen warp prefetches on its first access.
+    assert pref.gs.get(0x1A) == 1000
+    assert pref.observe(0x1A, 9, 42, 100) == [1042]

@@ -1,0 +1,160 @@
+"""Unit tests for MT-HWP: PWS/GS/IP tables, promotion, priority, cost."""
+
+from repro.core.mt_hwp import (
+    GS_ENTRY_BITS,
+    IP_ENTRY_BITS,
+    PWS_ENTRY_BITS,
+    IpEntry,
+    MtHwpPrefetcher,
+    hardware_cost_bits,
+    hardware_cost_bytes,
+)
+
+
+def train_warp(pref, pc, wid, base, stride, count=3, start_cycle=0):
+    """Feed `count` strided accesses from one warp; return last targets."""
+    targets = []
+    for i in range(count):
+        targets = pref.observe(pc, wid, base + i * stride, start_cycle + i)
+    return targets
+
+
+class TestPws:
+    def test_per_warp_training(self):
+        pref = MtHwpPrefetcher(enable_gs=False, enable_ip=False)
+        targets = train_warp(pref, 0x1A, wid=1, base=0, stride=1000)
+        assert targets == [3000]
+
+    def test_interleaved_warps_do_not_confuse_pws(self):
+        pref = MtHwpPrefetcher(enable_gs=False, enable_ip=False)
+        fired = []
+        for i in range(3):
+            for wid in (1, 2, 3):
+                fired.extend(pref.observe(0x1A, wid, wid * 10 + i * 1000, i))
+        # Each warp fires on its third access (Fig. 5's left table).
+        assert sorted(fired) == [3010, 3020, 3030]
+
+    def test_capacity_thrash_without_gs(self):
+        """More concurrent warps than PWS entries -> training thrashes."""
+        pref = MtHwpPrefetcher(pws_entries=4, enable_gs=False, enable_ip=False)
+        fired = []
+        for i in range(4):
+            for wid in range(8):  # 8 streams into a 4-entry table
+                fired.extend(pref.observe(0x1A, wid, wid * 10 + i * 1000, i))
+        assert fired == []  # every entry evicted before its third access
+
+
+class TestGsPromotion:
+    def test_promotion_after_three_agreeing_warps(self):
+        pref = MtHwpPrefetcher(enable_ip=False)
+        for wid in (1, 2, 3):
+            train_warp(pref, 0x1A, wid, wid * 10, 1000)
+        assert pref.promotions == 1
+        assert pref.gs.get(0x1A) == 1000
+
+    def test_untrained_warp_uses_gs_immediately(self):
+        pref = MtHwpPrefetcher(enable_ip=False)
+        for wid in (1, 2, 3):
+            train_warp(pref, 0x1A, wid, wid * 10, 1000)
+        # Warp 9 was never seen; its very first access prefetches.
+        targets = pref.observe(0x1A, 9, 90, 100)
+        assert targets == [1090]
+        assert pref.gs_hits == 1
+
+    def test_gs_hit_skips_pws_probe(self):
+        pref = MtHwpPrefetcher(enable_ip=False)
+        for wid in (1, 2, 3):
+            train_warp(pref, 0x1A, wid, wid * 10, 1000)
+        probes_before = pref.pws_accesses
+        pref.observe(0x1A, 1, 5000, 100)
+        assert pref.pws_accesses == probes_before
+        assert pref.pws_accesses_saved >= 1
+
+    def test_no_promotion_when_strides_differ(self):
+        pref = MtHwpPrefetcher(enable_ip=False)
+        train_warp(pref, 0x1A, 1, 0, 1000)
+        train_warp(pref, 0x1A, 2, 10, 2000)
+        train_warp(pref, 0x1A, 3, 20, 3000)
+        assert pref.promotions == 0
+        assert pref.gs.get(0x1A) is None
+
+
+class TestIpTable:
+    def test_cross_warp_stride_training(self):
+        entry = IpEntry(warp_id=0, addr=0)
+        assert not entry.train(1, 128)
+        assert entry.train(2, 256)
+        assert entry.trained
+        assert entry.stride == 128
+
+    def test_same_warp_accesses_do_not_corrupt(self):
+        entry = IpEntry(0, 0)
+        entry.train(1, 128)
+        entry.train(1, 999_999)  # same warp: ignored
+        assert entry.train(2, 256)
+        assert entry.stride == 128
+
+    def test_non_divisible_delta_resets(self):
+        entry = IpEntry(0, 0)
+        entry.train(2, 255)  # 255 / 2 not integral
+        assert entry.confidence == 0
+
+    def test_ip_prefetches_for_future_warp(self):
+        pref = MtHwpPrefetcher(enable_gs=False, enable_pws=False, ip_warp_distance=1)
+        pref.observe(0x20, 0, 0, 0)
+        pref.observe(0x20, 1, 128, 1)
+        pref.observe(0x20, 2, 256, 2)
+        targets = pref.observe(0x20, 3, 384, 3)
+        assert targets == [384 + 128]
+        assert pref.ip_hits == 1
+
+    def test_ip_warp_distance_scales_target(self):
+        pref = MtHwpPrefetcher(enable_gs=False, enable_pws=False, ip_warp_distance=8)
+        for wid in range(4):
+            targets = pref.observe(0x20, wid, wid * 128, wid)
+        assert targets == [3 * 128 + 8 * 128]
+
+
+class TestPriority:
+    def test_trained_pws_beats_ip(self):
+        """Section VIII-B: PWS has higher priority than IP."""
+        pref = MtHwpPrefetcher(enable_gs=False, ip_warp_distance=1)
+        # Train IP via cross-warp accesses, then train PWS for warp 7.
+        for wid in range(3):
+            pref.observe(0x30, wid, wid * 128, wid)
+        for i in range(3):
+            targets = pref.observe(0x30, 7, 7 * 128 + i * 4096, 10 + i)
+        # The last observe has both IP and PWS trained; PWS stride wins.
+        assert targets == [7 * 128 + 2 * 4096 + 4096]
+
+    def test_gs_beats_everything(self):
+        pref = MtHwpPrefetcher(ip_warp_distance=1)
+        for wid in (1, 2, 3):
+            train_warp(pref, 0x40, wid, wid * 128, 4096)
+        before = pref.ip_hits
+        targets = pref.observe(0x40, 5, 640, 99)
+        assert targets == [640 + 4096]
+        assert pref.ip_hits == before
+
+
+class TestHardwareCost:
+    def test_entry_bit_widths_match_table6(self):
+        assert PWS_ENTRY_BITS == 93
+        assert GS_ENTRY_BITS == 52
+        assert IP_ENTRY_BITS == 133
+
+    def test_total_cost_matches_table6(self):
+        costs = hardware_cost_bits()
+        assert costs["PWS"].total_bits == 32 * 93
+        assert costs["GS"].total_bits == 8 * 52
+        assert costs["IP"].total_bits == 8 * 133
+        assert hardware_cost_bytes() == 557  # the paper's Table VI total
+
+    def test_reset(self):
+        pref = MtHwpPrefetcher()
+        train_warp(pref, 0x50, 1, 0, 64)
+        pref.reset()
+        assert len(pref.pws) == 0
+        assert len(pref.gs) == 0
+        assert len(pref.ip) == 0
+        assert pref.observations == 0

@@ -1,0 +1,102 @@
+"""Unit tests for the MTAML analytical model (paper Section IV)."""
+
+import math
+
+import pytest
+
+from repro.core.mtaml import (
+    PrefetchEffect,
+    classify_prefetch_effect,
+    mtaml,
+    mtaml_curves,
+    mtaml_pref,
+)
+
+
+class TestMtaml:
+    def test_eq1_basic(self):
+        # 20 compute, 4 memory, 16 warps: (20/4) * 15 = 75 cycles.
+        assert mtaml(20, 4, 16) == 75.0
+
+    def test_single_warp_tolerates_nothing(self):
+        assert mtaml(20, 4, 1) == 0.0
+
+    def test_more_warps_tolerate_more(self):
+        assert mtaml(20, 4, 32) > mtaml(20, 4, 16)
+
+    def test_more_compute_tolerates_more(self):
+        assert mtaml(40, 4, 16) > mtaml(20, 4, 16)
+
+    def test_no_memory_instructions(self):
+        assert mtaml(20, 0, 16) == float("inf")
+
+    def test_invalid_warps(self):
+        with pytest.raises(ValueError):
+            mtaml(20, 4, 0)
+
+
+class TestMtamlPref:
+    def test_eq2_reduces_to_eq1_at_zero_hit_probability(self):
+        assert mtaml_pref(20, 4, 16, 0.0) == mtaml(20, 4, 16)
+
+    def test_hit_probability_raises_threshold(self):
+        base = mtaml(20, 4, 16)
+        assert mtaml_pref(20, 4, 16, 0.5) > base
+
+    def test_eq2_formula(self):
+        # comp_new = 20 + 0.5*4 = 22; mem_new = 0.5*4 = 2; *15 = 165.
+        assert mtaml_pref(20, 4, 16, 0.5) == pytest.approx(165.0)
+
+    def test_full_hit_probability_is_infinite(self):
+        assert mtaml_pref(20, 4, 16, 1.0) == float("inf")
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            mtaml_pref(20, 4, 16, 1.5)
+        with pytest.raises(ValueError):
+            mtaml_pref(20, 4, 16, -0.1)
+
+
+class TestClassification:
+    def test_no_effect_when_latency_tolerated(self):
+        effect = classify_prefetch_effect(
+            avg_latency=50, avg_latency_pref=60,
+            comp_inst=20, mem_inst=4, warps=16, prefetch_hit_prob=0.5,
+        )
+        assert effect == PrefetchEffect.NO_EFFECT
+
+    def test_useful_when_prefetching_crosses_threshold(self):
+        # MTAML = 75 < 100; MTAML_pref = 165 > 120.
+        effect = classify_prefetch_effect(
+            avg_latency=100, avg_latency_pref=120,
+            comp_inst=20, mem_inst=4, warps=16, prefetch_hit_prob=0.5,
+        )
+        assert effect == PrefetchEffect.USEFUL
+
+    def test_ambiguous_when_neither_tolerates(self):
+        effect = classify_prefetch_effect(
+            avg_latency=1000, avg_latency_pref=1200,
+            comp_inst=20, mem_inst=4, warps=16, prefetch_hit_prob=0.5,
+        )
+        assert effect == PrefetchEffect.USEFUL_OR_HARMFUL
+
+
+class TestCurves:
+    def test_figure7_regions_appear_in_order(self):
+        """Fig. 7: useful at low warp counts, no-effect at high counts."""
+        points = mtaml_curves(
+            comp_inst=40, mem_inst=4,
+            warp_counts=range(1, 49), prefetch_hit_prob=0.6,
+            base_latency=120, latency_per_warp=4,
+        )
+        effects = [p.effect for p in points]
+        assert PrefetchEffect.NO_EFFECT in effects
+        assert effects[-1] == PrefetchEffect.NO_EFFECT
+        assert effects[0] != PrefetchEffect.NO_EFFECT
+        # MTAML curves are monotone in warps.
+        mt = [p.mtaml for p in points]
+        assert all(b >= a for a, b in zip(mt, mt[1:]))
+        # Prefetching raises the tolerable latency (equal only at 1 warp,
+        # where both thresholds are zero).
+        assert all(p.mtaml_pref >= p.mtaml for p in points)
+        assert all(p.mtaml_pref > p.mtaml for p in points if p.warps > 1)

@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mt_hwp import MtHwpPrefetcher
+from repro.core.mtaml import mtaml, mtaml_pref
+from repro.core.stride_pc import StrideEntry, StridePcPrefetcher
+from repro.core.tables import LruTable
+from repro.core.throttle import ThrottleConfig, ThrottleEngine, ThrottleWindow
+
+
+class TestLruTableProperties:
+    @given(
+        capacity=st.integers(1, 16),
+        keys=st.lists(st.integers(0, 31), min_size=0, max_size=200),
+    )
+    @settings(max_examples=100)
+    def test_size_never_exceeds_capacity(self, capacity, keys):
+        table = LruTable(capacity)
+        for key in keys:
+            table.put(key, key * 2)
+            assert len(table) <= capacity
+
+    @given(
+        capacity=st.integers(1, 16),
+        keys=st.lists(st.integers(0, 31), min_size=1, max_size=200),
+    )
+    @settings(max_examples=100)
+    def test_most_recent_key_always_present(self, capacity, keys):
+        table = LruTable(capacity)
+        for key in keys:
+            table.put(key, key)
+            assert key in table
+        assert table.get(keys[-1]) == keys[-1]
+
+    @given(keys=st.lists(st.integers(0, 7), min_size=0, max_size=100))
+    @settings(max_examples=100)
+    def test_evictions_plus_live_equals_distinct_inserts(self, keys):
+        table = LruTable(4)
+        inserted = set()
+        for key in keys:
+            if key not in table:
+                inserted.add((key, len(inserted)))  # count re-inserts too
+            table.put(key, key)
+        # every insert either still lives or was evicted
+        assert len(table) + table.evictions == len(inserted)
+
+
+class TestStrideTrainingProperties:
+    @given(
+        base=st.integers(0, 1 << 30),
+        stride=st.integers(-(1 << 16), 1 << 16).filter(lambda s: s != 0),
+        n=st.integers(3, 12),
+    )
+    @settings(max_examples=100)
+    def test_constant_stride_always_trains(self, base, stride, n):
+        entry = StrideEntry(base)
+        for i in range(1, n):
+            entry.train(base + i * stride)
+        assert entry.trained
+        assert entry.stride == stride
+
+    @given(addrs=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_training_never_crashes_and_tracks_last(self, addrs):
+        entry = StrideEntry(addrs[0])
+        for addr in addrs[1:]:
+            entry.train(addr)
+        assert entry.last_addr == addrs[-1]
+
+    @given(
+        accesses=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 1 << 20)),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=100)
+    def test_prefetcher_targets_are_finite_and_bounded(self, accesses):
+        pref = StridePcPrefetcher(entries=8, warp_aware=True, degree=2)
+        for wid, addr in accesses:
+            targets = pref.observe(0x10, wid, addr, 0)
+            assert len(targets) <= pref.degree
+
+
+class TestMtHwpProperties:
+    @given(
+        accesses=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 3), st.integers(0, 1 << 24)),
+            max_size=150,
+        )
+    )
+    @settings(max_examples=60)
+    def test_tables_stay_bounded(self, accesses):
+        pref = MtHwpPrefetcher(pws_entries=8, gs_entries=2, ip_entries=2)
+        for wid, pc, addr in accesses:
+            pref.observe(pc, wid, addr, 0)
+            assert len(pref.pws) <= 8
+            assert len(pref.gs) <= 2
+            assert len(pref.ip) <= 2
+
+    @given(
+        stride=st.integers(1, 1 << 12),
+        warps=st.integers(3, 8),
+        iters=st.integers(3, 6),
+    )
+    @settings(max_examples=50)
+    def test_regular_grid_always_promotes(self, stride, warps, iters):
+        """Any regular multi-warp stride pattern ends with a GS entry."""
+        pref = MtHwpPrefetcher()
+        for i in range(iters):
+            for wid in range(warps):
+                pref.observe(0x40, wid, wid * 64 + i * stride, i)
+        assert pref.gs.get(0x40) == stride
+
+
+class TestThrottleProperties:
+    @given(
+        windows=st.lists(
+            st.tuples(
+                st.integers(0, 50),   # early
+                st.integers(0, 200),  # useful
+                st.integers(0, 200),  # merges
+                st.integers(1, 400),  # requests
+            ),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=100)
+    def test_degree_always_in_range(self, windows):
+        engine = ThrottleEngine(ThrottleConfig(enabled=True))
+        for early, useful, merges, requests in windows:
+            degree = engine.update(
+                ThrottleWindow(early, useful, min(merges, requests), requests)
+            )
+            assert 0 <= degree <= engine.config.max_degree
+
+    @given(degree=st.integers(0, 5), n=st.integers(1, 200))
+    @settings(max_examples=60)
+    def test_drop_fraction_matches_degree(self, degree, n):
+        engine = ThrottleEngine(ThrottleConfig(enabled=True, initial_degree=degree))
+        dropped = sum(0 if engine.allow_prefetch() else 1 for _ in range(n * 5))
+        assert dropped == n * degree
+
+
+class TestMtamlProperties:
+    @given(
+        comp=st.floats(0.0, 1e4),
+        mem=st.floats(0.1, 1e3),
+        warps=st.integers(1, 1024),
+        prob=st.floats(0.0, 0.99),
+    )
+    @settings(max_examples=200)
+    def test_prefetching_never_lowers_tolerable_latency(self, comp, mem, warps, prob):
+        assert mtaml_pref(comp, mem, warps, prob) >= mtaml(comp, mem, warps)
+
+    @given(
+        comp=st.floats(0.0, 1e4),
+        mem=st.floats(0.1, 1e3),
+        warps=st.integers(2, 1024),
+        p1=st.floats(0.0, 0.5),
+        p2=st.floats(0.5, 0.99),
+    )
+    @settings(max_examples=200)
+    def test_monotone_in_hit_probability(self, comp, mem, warps, p1, p2):
+        assert mtaml_pref(comp, mem, warps, p2) >= mtaml_pref(comp, mem, warps, p1)

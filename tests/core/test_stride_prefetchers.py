@@ -1,0 +1,124 @@
+"""Unit tests for the stride prefetchers (StridePC, Stride RPT)."""
+
+import pytest
+
+from repro.core.stride_pc import TRAIN_THRESHOLD, StrideEntry, StridePcPrefetcher
+from repro.core.stride_rpt import StrideRptPrefetcher
+
+
+class TestStrideEntry:
+    def test_trains_after_three_accesses(self):
+        entry = StrideEntry(0)
+        assert not entry.train(100)
+        assert entry.train(200)
+        assert entry.trained
+        assert entry.stride == 100
+
+    def test_stride_change_resets_confidence(self):
+        entry = StrideEntry(0)
+        entry.train(100)
+        entry.train(200)
+        assert entry.trained
+        assert not entry.train(250)  # delta 50 != 100
+        assert not entry.trained
+
+    def test_zero_delta_ignored(self):
+        entry = StrideEntry(0)
+        entry.train(100)
+        entry.train(200)
+        assert entry.train(200)  # repeated address keeps training state
+        assert entry.trained
+
+    def test_zero_stride_never_trains(self):
+        entry = StrideEntry(0)
+        for _ in range(5):
+            entry.train(0)
+        assert not entry.trained
+
+
+class TestStridePc:
+    def test_trained_pc_prefetches_next_stride(self):
+        pref = StridePcPrefetcher(warp_aware=True)
+        assert pref.observe(0x10, 0, 0, 0) == []
+        assert pref.observe(0x10, 0, 1000, 4) == []
+        targets = pref.observe(0x10, 0, 2000, 8)
+        assert targets == [3000]
+
+    def test_distance_and_degree(self):
+        pref = StridePcPrefetcher(warp_aware=True, distance=3, degree=2)
+        pref.observe(0x10, 0, 0, 0)
+        pref.observe(0x10, 0, 100, 1)
+        targets = pref.observe(0x10, 0, 200, 2)
+        assert targets == [200 + 300, 200 + 400]
+
+    def test_naive_confused_by_warp_interleaving(self):
+        """Fig. 5: interleaved warps make the PC-only stream look random."""
+        pref = StridePcPrefetcher(warp_aware=False)
+        fired = []
+        # Warps 1-3 each stride by 1000 from bases 0, 10, 20 (Fig. 5 data),
+        # interleaved in a scrambled order.
+        sequence = [
+            (1, 0), (2, 10), (1, 1000), (3, 20), (2, 1010),
+            (3, 1020), (3, 2020), (1, 2000), (2, 2010),
+        ]
+        for wid, addr in sequence:
+            fired.extend(pref.observe(0x1A, wid, addr, 0))
+        assert fired == []  # never sees two consecutive equal deltas
+
+    def test_warp_aware_sees_per_warp_strides(self):
+        pref = StridePcPrefetcher(warp_aware=True)
+        fired = []
+        sequence = [
+            (1, 0), (2, 10), (1, 1000), (3, 20), (2, 1010),
+            (3, 1020), (3, 2020), (1, 2000), (2, 2010),
+        ]
+        for wid, addr in sequence:
+            fired.extend(pref.observe(0x1A, wid, addr, 0))
+        assert fired == [3020, 3000, 3010]  # each warp trained at stride 1000
+
+    def test_table_capacity_evicts_lru(self):
+        pref = StridePcPrefetcher(entries=2, warp_aware=False)
+        pref.observe(0x10, 0, 0, 0)
+        pref.observe(0x20, 0, 0, 0)
+        pref.observe(0x30, 0, 0, 0)  # evicts 0x10
+        assert len(pref.table) == 2
+        assert pref.table.get(0x10) is None
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            StridePcPrefetcher(distance=0)
+        with pytest.raises(ValueError):
+            StridePcPrefetcher(degree=0)
+
+
+class TestStrideRpt:
+    def test_region_localized_training(self):
+        pref = StrideRptPrefetcher(region_bits=16)
+        region_a = 0x10000
+        region_b = 0x20000
+        pref.observe(0x10, 0, region_a, 0)
+        pref.observe(0x11, 0, region_b, 1)  # different region, no confusion
+        pref.observe(0x12, 0, region_a + 128, 2)
+        targets = pref.observe(0x13, 0, region_a + 256, 3)
+        assert targets == [region_a + 384]
+
+    def test_warp_aware_variant_separates_warps(self):
+        naive = StrideRptPrefetcher(region_bits=16)
+        aware = StrideRptPrefetcher(region_bits=16, warp_aware=True)
+        # Two warps interleave different strides in the same region.
+        seq = [(0, 0), (1, 64), (0, 256), (1, 64 + 512), (0, 512), (1, 64 + 1024)]
+        naive_fired = []
+        aware_fired = []
+        for wid, addr in seq:
+            naive_fired.extend(naive.observe(0x10, wid, addr, 0))
+            aware_fired.extend(aware.observe(0x10, wid, addr, 0))
+        assert naive_fired == []
+        assert aware_fired == [768, 64 + 1536]
+
+    def test_reset_clears_state(self):
+        pref = StrideRptPrefetcher()
+        pref.observe(0x10, 0, 0, 0)
+        pref.observe(0x10, 0, 128, 1)
+        pref.reset()
+        assert pref.observations == 0
+        assert pref.observe(0x10, 0, 256, 2) == []

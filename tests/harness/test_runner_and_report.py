@@ -1,0 +1,144 @@
+"""Tests for the experiment runner, scheme registry, and report formatting."""
+
+import pytest
+
+from repro.harness.report import (
+    format_speedup_figure,
+    format_sweep,
+    format_table,
+    summarize_headline,
+)
+from repro.harness.runner import (
+    HARDWARE_SCHEMES,
+    ExperimentRunner,
+    arithmetic_mean,
+    geometric_mean,
+    resolve_software,
+    run_benchmark,
+)
+from repro.trace.swp import MT_SWP, SoftwarePrefetchConfig
+
+
+class TestSchemeRegistry:
+    def test_all_paper_schemes_present(self):
+        for name in (
+            "none", "stride_rpt", "stride_rpt_wid", "stride_pc",
+            "stride_pc_wid", "stream", "stream_wid", "ghb", "ghb_wid",
+            "ghb_feedback", "stride_pc_throttle", "mt-hwp",
+            "mt-hwp:pws", "mt-hwp:pws+gs", "mt-hwp:pws+ip",
+        ):
+            assert name in HARDWARE_SCHEMES
+
+    def test_builders_respect_distance_degree(self):
+        pref = HARDWARE_SCHEMES["stride_pc_wid"](3, 2)
+        assert pref.distance == 3 and pref.degree == 2
+
+    def test_mt_hwp_ablation_flags(self):
+        pws_only = HARDWARE_SCHEMES["mt-hwp:pws"](1, 1)
+        assert pws_only.enable_pws and not pws_only.enable_gs
+        assert not pws_only.enable_ip
+        full = HARDWARE_SCHEMES["mt-hwp"](1, 1)
+        assert full.enable_pws and full.enable_gs and full.enable_ip
+
+    def test_resolve_software(self):
+        assert resolve_software("mt-swp") is MT_SWP
+        cfg = SoftwarePrefetchConfig(stride=True, distance=4)
+        assert resolve_software(cfg) is cfg
+        with pytest.raises(KeyError):
+            resolve_software("bogus")
+
+    def test_unknown_hardware_scheme_raises(self):
+        with pytest.raises(KeyError):
+            run_benchmark("monte", hardware="bogus", scale=0.05)
+
+
+class TestRunnerCaching:
+    def test_cache_hit_returns_same_object(self):
+        runner = ExperimentRunner(scale=0.1)
+        a = runner.run("cell")
+        b = runner.run("cell")
+        assert a is b
+        assert runner.cache_size() == 1
+
+    def test_different_schemes_are_distinct_runs(self):
+        runner = ExperimentRunner(scale=0.1)
+        runner.run("cell")
+        runner.run("cell", hardware="mt-hwp")
+        assert runner.cache_size() == 2
+
+    def test_speedup_uses_shared_baseline(self):
+        runner = ExperimentRunner(scale=0.1)
+        s = runner.speedup("cell", hardware="mt-hwp")
+        assert s > 0
+        assert runner.cache_size() == 2
+
+
+class TestMeans:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([2.0, 0.0]) == 2.0  # nonpositive filtered
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 3.0]) == 2.0
+        assert arithmetic_mean([]) == 0.0
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        rows = [{"a": "x", "b": 1.5}, {"a": "longer", "b": 22.125}]
+        out = format_table(rows, ["a", "b"], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "1.50" in out and "22.12" in out
+        assert len({len(line) for line in lines[1:]}) <= 2  # aligned
+
+    def test_format_speedup_figure(self):
+        result = {
+            "rows": [
+                {"benchmark": "x", "s1": 1.5, "s2": 0.9},
+                {"benchmark": "y", "s1": 1.1, "s2": 1.3},
+            ],
+            "geomean": {"s1": 1.28, "s2": 1.08},
+        }
+        out = format_speedup_figure(result, "Fig")
+        assert "geomean" in out and "Fig" in out
+
+    def test_format_sweep(self):
+        result = {"A": {1: 1.0, 2: 1.5}, "B": {1: 0.9, 2: 1.1}}
+        out = format_sweep(result, "Sweep", "x")
+        assert "Sweep" in out
+        assert out.splitlines()[1].startswith("x")
+
+    def test_summarize_headline(self):
+        fig11 = {"geomean": {"register": 1.0, "stride": 1.2,
+                             "mt-swp": 1.35, "mt-swp+T": 1.38}}
+        fig15 = {"geomean": {"ghb_wid": 1.0, "ghb_feedback": 1.05,
+                             "stride_pc_wid": 1.1, "stride_pc_throttle": 1.12,
+                             "mt-hwp": 1.28, "mt-hwp+T": 1.30}}
+        headline = summarize_headline(fig11, fig15)
+        assert headline["mt_swp_t_over_stride"] == pytest.approx(1.38 / 1.2)
+        assert headline["mt_hwp_t_over_stride_pc_t"] == pytest.approx(1.30 / 1.12)
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        from repro.harness.report import format_bar_chart
+
+        out = format_bar_chart({"a": 2.0, "b": 1.0, "c": 0.5}, "Chart")
+        lines = out.splitlines()
+        assert lines[0] == "Chart"
+        assert "2.00" in lines[1]
+        # The largest bar has the most fill characters.
+        assert lines[1].count("#") > lines[3].count("#")
+
+    def test_reference_marker_appears_for_sub_reference_bars(self):
+        from repro.harness.report import format_bar_chart
+
+        out = format_bar_chart({"x": 0.5, "y": 2.0}, "C")
+        assert "|" in out.splitlines()[1]
+
+    def test_empty(self):
+        from repro.harness.report import format_bar_chart
+
+        assert "(no data)" in format_bar_chart({}, "Empty")

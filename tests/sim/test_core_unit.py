@@ -1,0 +1,187 @@
+"""Unit tests for the SIMT core's issue and prefetch-engine paths."""
+
+import pytest
+
+from repro.core.stride_pc import StridePcPrefetcher
+from repro.core.throttle import ThrottleConfig, ThrottleEngine
+from repro.sim.config import CoreConfig, baseline_config
+from repro.sim.core import Core
+from repro.sim.isa import MemSpace, Op, compute, load, prefetch, store
+
+
+def make_core(prefetcher=None, throttle_enabled=False, mrq_size=64):
+    cfg = baseline_config(core=CoreConfig(mrq_size=mrq_size))
+    throttle = ThrottleEngine(ThrottleConfig(enabled=throttle_enabled))
+    return Core(0, cfg, prefetcher=prefetcher, throttle=throttle)
+
+
+def one_warp_block(stream, block_id=0, warp_id=0):
+    return (block_id, [(warp_id, stream)])
+
+
+class TestIssue:
+    def test_compute_occupies_port(self):
+        core = make_core()
+        core.assign_block(one_warp_block([compute(), compute()]))
+        issued, _ = core.try_issue(0)
+        assert issued
+        assert core.port_free_cycle == 4
+        issued, retry = core.try_issue(1)
+        assert not issued and retry == 4
+        issued, _ = core.try_issue(4)
+        assert issued
+
+    def test_imul_fdiv_latencies(self):
+        core = make_core()
+        from repro.sim.isa import fdiv, imul
+        core.assign_block(one_warp_block([imul(), fdiv()]))
+        core.try_issue(0)
+        assert core.port_free_cycle == 16
+        core.try_issue(16)
+        assert core.port_free_cycle == 16 + 32
+
+    def test_load_creates_mrq_entries(self):
+        core = make_core()
+        core.assign_block(one_warp_block([load(0x10, 0, [0, 64])]))
+        core.try_issue(0)
+        assert len(core.mrq) == 2
+        assert core.demand_loads == 1
+        assert core.demand_lines_to_memory == 2
+
+    def test_shared_load_completes_immediately(self):
+        core = make_core()
+        stream = [
+            load(0x10, 0, [0], space=MemSpace.SHARED),
+            compute(0x20, wait_tokens=[0]),
+        ]
+        core.assign_block(one_warp_block(stream))
+        core.try_issue(0)
+        assert len(core.mrq) == 0
+        issued, _ = core.try_issue(4)
+        assert issued  # dependent compute not blocked
+
+    def test_warp_switch_on_dependency(self):
+        core = make_core()
+        core.assign_block(one_warp_block(
+            [load(0x10, 0, [0]), compute(0x20, wait_tokens=[0])], 0, 0))
+        core.assign_block(one_warp_block([compute(0x30)], 1, 1))
+        core.try_issue(0)   # warp 0 load
+        issued, _ = core.try_issue(4)
+        assert issued       # switches to warp 1's compute
+        issued, _ = core.try_issue(8)
+        assert not issued   # both blocked/done until the response
+
+    def test_response_unblocks_waiter(self):
+        core = make_core()
+        core.assign_block(one_warp_block(
+            [load(0x10, 0, [0]), compute(0x20, wait_tokens=[0])]))
+        core.try_issue(0)
+        request = core.mrq.pop_sendable(1)
+        core.on_response(request, 500)
+        issued, _ = core.try_issue(500)
+        assert issued
+
+    def test_store_fire_and_forget(self):
+        core = make_core()
+        core.assign_block(one_warp_block([store(0x10, [0]), compute(0x20)]))
+        core.try_issue(0)
+        issued, _ = core.try_issue(4)
+        assert issued  # store never blocks the warp
+
+    def test_block_retires_and_frees_slot(self):
+        core = make_core()
+        core.max_blocks = 1
+        core.assign_block(one_warp_block([compute()]))
+        assert not core.has_free_block_slot()
+        core.try_issue(0)
+        assert core.drained
+        assert core.has_free_block_slot()
+
+
+class TestPrefetchEngine:
+    def test_software_prefetch_issues_requests(self):
+        core = make_core()
+        core.assign_block(one_warp_block([prefetch(0x80, [0, 64])]))
+        core.try_issue(0)
+        assert core.prefetch_instructions == 1
+        assert core.prefetch_issued == 2
+        assert len(core.mrq) == 2
+
+    def test_prefetch_redundant_with_mrq_entry(self):
+        core = make_core()
+        core.assign_block(one_warp_block(
+            [load(0x10, 0, [0]), prefetch(0x80, [0])]))
+        core.try_issue(0)
+        core.try_issue(4)
+        assert core.prefetch_redundant == 1
+        assert core.prefetch_issued == 0
+
+    def test_prefetch_redundant_with_pcache_line(self):
+        core = make_core()
+        core.pcache.fill(0, cycle=0)
+        core.assign_block(one_warp_block([prefetch(0x80, [0])]))
+        core.try_issue(0)
+        assert core.prefetch_redundant == 1
+
+    def test_throttle_drops_prefetches(self):
+        throttled = make_core(throttle_enabled=True)
+        throttled.throttle.degree = 5
+        throttled.assign_block(one_warp_block([prefetch(0x80, [0, 64])]))
+        throttled.try_issue(0)
+        assert throttled.prefetch_throttled == 2
+        assert throttled.prefetch_issued == 0
+
+    def test_hardware_prefetcher_observes_loads(self):
+        pref = StridePcPrefetcher(warp_aware=True)
+        core = make_core(prefetcher=pref)
+        stream = [load(0x10, t, [t * 4096], base_addr=t * 4096) for t in range(3)]
+        core.assign_block(one_warp_block(stream))
+        for cycle in (0, 4, 8):
+            core.try_issue(cycle)
+        assert pref.observations == 3
+        assert core.prefetch_issued >= 1  # trained stride fired
+
+    def test_hw_prefetch_footprint_expansion(self):
+        """A 2-line demand triggers 2 prefetch lines per target."""
+        pref = StridePcPrefetcher(warp_aware=True)
+        core = make_core(prefetcher=pref)
+        stream = [
+            load(0x10, t, [t * 4096, t * 4096 + 64], base_addr=t * 4096)
+            for t in range(3)
+        ]
+        core.assign_block(one_warp_block(stream))
+        for cycle in (0, 4, 8):
+            core.try_issue(cycle)
+        assert core.prefetch_issued == 2
+
+    def test_demand_hits_prefetch_cache(self):
+        core = make_core()
+        core.pcache.fill(0, cycle=0)
+        core.assign_block(one_warp_block(
+            [load(0x10, 0, [0]), compute(0x20, wait_tokens=[0])]))
+        core.try_issue(0)
+        assert len(core.mrq) == 0          # served by the prefetch cache
+        issued, _ = core.try_issue(4)
+        assert issued                       # token completed at issue
+
+    def test_late_prefetch_accounting_on_response(self):
+        core = make_core()
+        core.assign_block(one_warp_block([prefetch(0x80, [0]), load(0x10, 0, [0])]))
+        core.try_issue(0)
+        core.try_issue(4)                  # demand merges into the prefetch
+        request = core.mrq.pop_sendable(5)
+        core.on_response(request, 900)
+        assert core.late_prefetches == 1
+        assert core.pcache.total_useful == 1
+
+
+class TestStructuralStalls:
+    def test_full_mrq_blocks_demand_not_prefetch(self):
+        core = make_core(mrq_size=1)
+        core.assign_block(one_warp_block([load(0x10, 0, [0])], 0, 0))
+        core.assign_block(one_warp_block([load(0x20, 0, [64])], 1, 1))
+        core.assign_block(one_warp_block([prefetch(0x80, [128])], 2, 2))
+        core.try_issue(0)                  # fills the single MRQ slot
+        issued, _ = core.try_issue(4)      # warp 1's load cannot allocate ...
+        assert issued                      # ... but warp 2's prefetch issues
+        assert core.mrq.total_prefetch_dropped_full == 1

@@ -1,0 +1,179 @@
+"""Unit tests for the DRAM model: mapping, scheduling, merging, priority."""
+
+from repro.sim.config import DramConfig
+from repro.sim.dram import Dram, DramChannel
+from repro.sim.memory_request import MemoryRequest
+
+
+def make_config(**overrides):
+    defaults = dict(pipeline_latency=0)
+    defaults.update(overrides)
+    return DramConfig(**defaults)
+
+
+def demand(line, core=0, cycle=0):
+    return MemoryRequest(line, core, 0, 0x10, False, cycle)
+
+
+def prefetch(line, core=0, cycle=0):
+    return MemoryRequest(line, core, 0, 0x10, True, cycle)
+
+
+def drain(channel, until=100_000):
+    """Run the channel until idle; return completed entries in order."""
+    completed = []
+    cycle = 0
+    while not channel.idle and cycle < until:
+        completed.extend(channel.step(cycle))
+        nxt = channel.next_event_cycle(cycle)
+        cycle = max(cycle + 1, nxt if nxt is not None else cycle + 1)
+    return completed
+
+
+class TestAddressMapping:
+    def test_mapping_is_deterministic_and_in_range(self):
+        dram = Dram(make_config())
+        for line in range(0, 64 * 512, 64):
+            channel, bank, row = dram.map_address(line)
+            assert 0 <= channel < 8
+            assert 0 <= bank < 16
+            assert row >= 0
+            assert dram.map_address(line) == (channel, bank, row)
+
+    def test_channel_hash_spreads_power_of_two_strides(self):
+        """A 2KB-strided sweep must not camp on one channel."""
+        dram = Dram(make_config())
+        channels = {dram.map_address(i * 2048)[0] for i in range(64)}
+        assert len(channels) >= 4
+
+    def test_consecutive_lines_spread_over_channels(self):
+        dram = Dram(make_config())
+        channels = {dram.map_address(i * 64)[0] for i in range(16)}
+        assert len(channels) >= 4
+
+
+class TestChannelScheduling:
+    def test_single_request_completes(self):
+        cfg = make_config()
+        ch = DramChannel(0, cfg)
+        ch.arrive(demand(0), bank=0, row=0, cycle=0)
+        done = drain(ch)
+        assert len(done) == 1
+        assert ch.lines_transferred == 1
+        assert ch.row_misses == 1  # first access opens the row
+
+    def test_row_hit_vs_miss_latency(self):
+        cfg = make_config()
+        ch = DramChannel(0, cfg)
+        ch.arrive(demand(0), 0, 0, 0)
+        drain(ch)
+        hits_before = ch.row_hits
+        ch.arrive(demand(64), 0, 0, 1000)   # same row -> hit
+        drain(ch)
+        assert ch.row_hits == hits_before + 1
+        ch.arrive(demand(1 << 20), 0, 7, 2000)  # other row -> conflict miss
+        drain(ch)
+        assert ch.row_misses == 2
+
+    def test_demand_served_before_prefetch(self):
+        cfg = make_config()
+        ch = DramChannel(0, cfg)
+        ch.arrive(prefetch(0), 0, 0, 0)
+        ch.arrive(demand(64), 0, 0, 0)
+        done = drain(ch)
+        assert done[0].requesters[0].is_demand
+        assert done[1].requesters[0].was_prefetch
+
+    def test_late_prefetch_promotion_reorders(self):
+        """A demand merging into a sent prefetch must lift its priority."""
+        cfg = make_config()
+        ch = DramChannel(0, cfg)
+        pref_req = prefetch(0)
+        ch.arrive(pref_req, 0, 0, 0)
+        ch.arrive(demand(64), 0, 0, 0)
+        # Merge a demand into the prefetch at the core MRQ (simulated by
+        # flipping the request object, as MemoryRequest.merge_demand does).
+        pref_req.merge_demand(None, -1, 1)
+        done = drain(ch)
+        # The promoted (older) entry must now be served first.
+        assert done[0].line_addr == 0
+
+    def test_inter_core_merging(self):
+        cfg = make_config()
+        ch = DramChannel(0, cfg)
+        ch.arrive(demand(0, core=0), 0, 0, 0)
+        ch.arrive(demand(0, core=1), 0, 0, 0)
+        done = drain(ch)
+        assert len(done) == 1
+        assert len(done[0].requesters) == 2
+        assert ch.inter_core_merges == 1
+
+    def test_stores_do_not_merge_with_loads(self):
+        cfg = make_config()
+        ch = DramChannel(0, cfg)
+        store = MemoryRequest(0, 0, 0, 0x10, False, 0, is_store=True)
+        ch.arrive(store, 0, 0, 0)
+        ch.arrive(demand(0), 0, 0, 0)
+        done = drain(ch)
+        assert len(done) == 2
+
+    def test_bus_throughput_bounded(self):
+        """N streaming row hits take at least N * burst_cycles on the bus."""
+        cfg = make_config()
+        ch = DramChannel(0, cfg)
+        n = 20
+        for i in range(n):
+            ch.arrive(demand(i * 64), 0, 0, 0)
+        cycle = 0
+        completed = 0
+        while completed < n and cycle < 10_000:
+            completed += len(ch.step(cycle))
+            nxt = ch.next_event_cycle(cycle)
+            cycle = max(cycle + 1, nxt if nxt is not None else cycle + 1)
+        assert completed == n
+        assert cycle >= n * cfg.burst_cycles
+
+    def test_pipeline_latency_delays_schedulability(self):
+        cfg = make_config(pipeline_latency=500)
+        ch = DramChannel(0, cfg)
+        ch.arrive(demand(0), 0, 0, 0)
+        assert ch.step(100) == []  # still traversing the pipeline
+        done = drain(ch)
+        assert len(done) == 1
+
+    def test_merge_inherits_pipeline_progress(self):
+        """A demand merging late must not restart the pipeline."""
+        cfg = make_config(pipeline_latency=500)
+        ch = DramChannel(0, cfg)
+        pref_req = prefetch(0)
+        ch.arrive(pref_req, 0, 0, 0)
+        ch.step(0)
+        pref_req.merge_demand(None, -1, 499)  # merge just before ready
+        done = []
+        cycle = 499
+        while not done and cycle < 2000:
+            done = ch.step(cycle)
+            cycle += 1
+        # Service completed shortly after ready (500), not after 999.
+        assert cycle < 600
+
+
+class TestDramFrontend:
+    def test_arrive_routes_by_channel(self):
+        dram = Dram(make_config())
+        req = demand(0)
+        dram.arrive(req, 0)
+        assert sum(len(ch.pending) for ch in dram.channels) == 1
+
+    def test_aggregate_stats(self):
+        dram = Dram(make_config())
+        for i in range(8):
+            dram.arrive(demand(i * 64), 0)
+        cycle = 0
+        remaining = 8
+        while remaining and cycle < 10_000:
+            remaining -= len(dram.step(cycle))
+            nxt = dram.next_event_cycle(cycle)
+            cycle = max(cycle + 1, nxt if nxt is not None else cycle + 1)
+        assert dram.total_lines_transferred == 8
+        assert dram.idle

@@ -1,0 +1,101 @@
+"""Property-based tests on DRAM timing and address-mapping invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import DramConfig
+from repro.sim.dram import Dram, DramChannel
+from repro.sim.memory_request import MemoryRequest
+
+
+def _drain(channel, limit=1_000_000):
+    done, cycle = [], 0
+    while not channel.idle and cycle < limit:
+        done.extend(channel.step(cycle))
+        nxt = channel.next_event_cycle(cycle)
+        cycle = max(cycle + 1, nxt if nxt is not None else cycle + 1)
+    return done, cycle
+
+
+class TestAddressMapProperties:
+    @given(lines=st.lists(st.integers(0, 1 << 26), max_size=100))
+    @settings(max_examples=100)
+    def test_mapping_total_and_in_range(self, lines):
+        dram = Dram(DramConfig())
+        for raw in lines:
+            addr = raw * 64
+            channel, bank, row = dram.map_address(addr)
+            assert 0 <= channel < 8
+            assert 0 <= bank < 16
+            assert row >= 0
+
+    @given(shift=st.integers(0, 12), count=st.integers(16, 64))
+    @settings(max_examples=100)
+    def test_power_of_two_strides_do_not_camp(self, shift, count):
+        """The XOR hash spreads every power-of-two stride over >= 2
+        channels — the pattern produced by row/array-pitch-strided sweeps,
+        which the plain ``line % channels`` mapping serializes."""
+        stride_lines = 1 << shift
+        dram = Dram(DramConfig())
+        channels = {
+            dram.map_address(i * stride_lines * 64)[0] for i in range(count)
+        }
+        assert len(channels) >= 2
+
+
+class TestChannelProperties:
+    @given(
+        lines=st.lists(st.integers(0, 255), min_size=1, max_size=40),
+        prefetch_mask=st.lists(st.booleans(), min_size=40, max_size=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_every_read_completes_exactly_once(self, lines, prefetch_mask):
+        cfg = DramConfig(pipeline_latency=0)
+        channel = DramChannel(0, cfg)
+        dram = Dram(cfg)
+        expected = set()
+        for i, raw in enumerate(lines):
+            addr = raw * 64
+            req = MemoryRequest(addr, i % 4, 0, 0x10, prefetch_mask[i], 0)
+            _, bank, row = dram.map_address(addr)
+            channel.arrive(req, bank, row, 0)
+            expected.add(addr)
+        done, _ = _drain(channel)
+        completed_lines = {entry.line_addr for entry in done}
+        assert completed_lines == expected
+        completed_requests = [r for e in done for r in e.requesters]
+        assert len(completed_requests) == len(lines)
+
+    @given(lines=st.lists(st.integers(0, 63), min_size=2, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_bus_bandwidth_bound(self, lines):
+        """Completion horizon >= distinct transfers * burst cycles."""
+        cfg = DramConfig(pipeline_latency=0)
+        channel = DramChannel(0, cfg)
+        distinct = set()
+        for i, raw in enumerate(lines):
+            addr = raw * 64
+            channel.arrive(MemoryRequest(addr, 0, 0, 0x10, False, 0), 0, 0, 0)
+            distinct.add(addr)
+        _, cycle = _drain(channel)
+        assert channel.lines_transferred == len(distinct)
+        assert cycle >= len(distinct) * cfg.burst_cycles
+
+    @given(
+        demand_lines=st.sets(st.integers(0, 31), min_size=1, max_size=10),
+        prefetch_lines=st.sets(st.integers(32, 63), min_size=1, max_size=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_all_demands_served_before_any_pure_prefetch(
+        self, demand_lines, prefetch_lines
+    ):
+        cfg = DramConfig(pipeline_latency=0)
+        channel = DramChannel(0, cfg)
+        for line in prefetch_lines:
+            channel.arrive(MemoryRequest(line * 64, 0, 0, 0, True, 0), 0, 0, 0)
+        for line in demand_lines:
+            channel.arrive(MemoryRequest(line * 64, 0, 0, 0, False, 0), 0, 1, 0)
+        done, _ = _drain(channel)
+        kinds = [entry.requesters[0].was_prefetch for entry in done]
+        first_prefetch = kinds.index(True)
+        assert all(kinds[first_prefetch:])  # no demand after a prefetch

@@ -1,0 +1,94 @@
+"""Tests for the optional extensions: memory-side L2, scheduler policy."""
+
+import dataclasses
+
+from repro.sim.config import CoreConfig, DramConfig, baseline_config
+from repro.sim.dram import DramChannel
+from repro.sim.gpu import GpuSimulator
+from repro.sim.isa import compute, load
+from repro.sim.memory_request import MemoryRequest
+from repro.trace.benchmarks import get_benchmark
+from repro.trace.tracegen import generate_workload
+
+
+def l2_config(size=64 * 1024, **overrides):
+    return DramConfig(pipeline_latency=100, l2_size_bytes=size, **overrides)
+
+
+def drain(channel, until=100_000):
+    completed, cycle = [], 0
+    while not channel.idle and cycle < until:
+        completed.extend(channel.step(cycle))
+        nxt = channel.next_event_cycle(cycle)
+        cycle = max(cycle + 1, nxt if nxt is not None else cycle + 1)
+    return completed
+
+
+class TestMemorySideL2:
+    def test_miss_then_hit(self):
+        ch = DramChannel(0, l2_config())
+        ch.arrive(MemoryRequest(0, 0, 0, 0x10, False, 0), 0, 0, 0)
+        assert len(drain(ch)) == 1
+        assert ch.l2_misses == 1
+        # The refetch of the same line hits the L2 and skips the banks.
+        ch.arrive(MemoryRequest(0, 1, 0, 0x10, False, 1000), 0, 0, 1000)
+        done = drain(ch)
+        assert len(done) == 1
+        assert ch.l2_hits == 1
+        assert ch.lines_transferred == 1  # no second DRAM transfer
+
+    def test_l2_hit_latency_short(self):
+        cfg = l2_config()
+        ch = DramChannel(0, cfg)
+        ch.arrive(MemoryRequest(0, 0, 0, 0x10, False, 0), 0, 0, 0)
+        drain(ch)
+        ch.arrive(MemoryRequest(0, 1, 0, 0x10, False, 2000), 0, 0, 2000)
+        cycle = 2000
+        done = []
+        while not done and cycle < 3000:
+            done = ch.step(cycle)
+            cycle += 1
+        assert cycle - 2000 <= cfg.l2_latency + 2
+
+    def test_disabled_by_default(self):
+        ch = DramChannel(0, DramConfig())
+        assert ch.l2 is None
+
+    def test_end_to_end_l2_reduces_refetch_time(self):
+        """Two waves touching the same lines: the L2 serves the second."""
+        spec = get_benchmark("cell", scale=0.25)
+        wl = generate_workload(spec)
+        base_cfg = baseline_config()
+        l2_cfg = base_cfg.replace(
+            dram=dataclasses.replace(base_cfg.dram, l2_size_bytes=256 * 1024)
+        )
+        sim = GpuSimulator(l2_cfg)
+        sim.load_workload(wl.blocks, wl.max_blocks_per_core)
+        sim.run()
+        # cell touches each line once, so hits come only from store/load
+        # overlap; the plumbing must at least count probes.
+        assert sim.dram.total_l2_hits + sim.dram.total_l2_misses > 0
+
+
+class TestSchedulerPolicy:
+    def _run(self, scheduler):
+        cfg = baseline_config(core=CoreConfig(scheduler=scheduler))
+        blocks = [
+            (0, [
+                (0, [load(0x10, 0, [0]), compute(0x20, wait_tokens=[0]),
+                     compute(0x24), compute(0x28)]),
+                (1, [load(0x10, 0, [4096]), compute(0x20, wait_tokens=[0]),
+                     compute(0x24), compute(0x28)]),
+            ])
+        ]
+        sim = GpuSimulator(cfg)
+        sim.load_workload(blocks, 1)
+        return sim.run()
+
+    def test_both_policies_complete(self):
+        rr = self._run("rr")
+        oldest = self._run("oldest")
+        assert rr.stats.instructions == oldest.stats.instructions == 8
+
+    def test_policies_are_deterministic(self):
+        assert self._run("oldest").cycles == self._run("oldest").cycles

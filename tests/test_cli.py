@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "monte" in out
+    assert "mt-hwp" in out
+    assert "mt-swp" in out
+
+
+def test_run_command_plain(capsys):
+    assert main(["run", "cell", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "CPI" in out
+    assert "speedup" in out
+
+
+def test_run_command_json(capsys):
+    assert main([
+        "run", "cell", "--hardware", "mt-hwp", "--scale", "0.1", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cycles"] > 0
+    assert "speedup_over_baseline" in payload
+    assert "prefetch_accuracy" in payload
+
+
+def test_run_with_throttle_and_software(capsys):
+    assert main([
+        "run", "cell", "--software", "mt-swp", "--throttle", "--scale", "0.1",
+    ]) == 0
+    assert "speedup" in capsys.readouterr().out
+
+
+def test_compare_command(capsys):
+    assert main([
+        "compare", "cell", "--schemes", "mt-swp", "mt-hwp", "--scale", "0.1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out
+    assert "mt-swp" in out and "mt-hwp" in out
+
+
+def test_compare_rejects_unknown_scheme(capsys):
+    assert main(["compare", "cell", "--schemes", "bogus", "--scale", "0.1"]) == 0
+    assert "unknown scheme" in capsys.readouterr().err
+
+
+def test_figure_table6(capsys):
+    assert main(["figure", "table6"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total_bytes"] == 557
+
+
+def test_figure_fig7(capsys):
+    assert main(["figure", "fig7"]) == 0
+    assert "Figure 7" in capsys.readouterr().out
+
+
+def test_figure_with_subset(capsys):
+    assert main(["figure", "fig10", "--scale", "0.1", "--subset", "cell"]) == 0
+    out = capsys.readouterr().out
+    assert "cell" in out and "geomean" in out
+
+
+def test_invalid_benchmark_errors():
+    with pytest.raises(KeyError):
+        main(["run", "not-a-benchmark"])
+
+
+def test_invalid_command_exits():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,108 @@
+"""Tests for the benchmark suite definitions (Table III / IV structure)."""
+
+import pytest
+
+from repro.trace.benchmarks import (
+    BENCHMARK_TYPES,
+    COMPUTE_BENCHMARKS,
+    MEMORY_BENCHMARKS,
+    PAPER_DEL_LOADS,
+    PAPER_TABLE4,
+    benchmarks_by_type,
+    get_benchmark,
+)
+from repro.trace.tracegen import generate_workload
+
+#: Paper Table III warps-per-block = total warps / blocks.
+PAPER_WPB = {
+    "black": 4, "conv": 6, "mersenne": 4, "monte": 8, "pns": 8,
+    "scalar": 8, "stream": 16, "backprop": 8, "cell": 16, "ocean": 2,
+    "bfs": 16, "cfd": 6, "linear": 8, "sepia": 8,
+}
+
+#: Paper Table III max blocks per core.
+PAPER_MAX_BLOCKS = {
+    "black": 3, "conv": 2, "mersenne": 2, "monte": 2, "pns": 1,
+    "scalar": 2, "stream": 1, "backprop": 2, "cell": 1, "ocean": 8,
+    "bfs": 1, "cfd": 1, "linear": 2, "sepia": 3,
+}
+
+
+class TestSuiteStructure:
+    def test_all_fourteen_memory_benchmarks_exist(self):
+        assert len(MEMORY_BENCHMARKS) == 14
+        for name in MEMORY_BENCHMARKS:
+            spec = get_benchmark(name)
+            assert spec.name == name
+
+    def test_all_twelve_compute_benchmarks_exist(self):
+        assert len(COMPUTE_BENCHMARKS) == 12
+        for name in COMPUTE_BENCHMARKS:
+            assert get_benchmark(name).btype == "compute"
+
+    def test_types_match_table3(self):
+        assert benchmarks_by_type("stride") == [
+            "black", "conv", "mersenne", "monte", "pns", "scalar", "stream"
+        ]
+        assert benchmarks_by_type("mp") == ["backprop", "cell", "ocean"]
+        assert benchmarks_by_type("uncoal") == ["bfs", "cfd", "linear", "sepia"]
+
+    @pytest.mark.parametrize("name", MEMORY_BENCHMARKS)
+    def test_warps_per_block_match_table3(self, name):
+        assert get_benchmark(name).warps_per_block == PAPER_WPB[name]
+
+    @pytest.mark.parametrize("name", MEMORY_BENCHMARKS)
+    def test_max_blocks_match_table3(self, name):
+        assert get_benchmark(name).paper_max_blocks == PAPER_MAX_BLOCKS[name]
+
+    @pytest.mark.parametrize("name", MEMORY_BENCHMARKS)
+    def test_paper_reference_values_recorded(self, name):
+        spec = get_benchmark(name)
+        assert spec.paper_base_cpi > 4.0
+        assert 3.9 <= spec.paper_pmem_cpi <= 6.3
+        assert name in PAPER_DEL_LOADS
+
+    def test_mp_type_has_no_loops(self):
+        """Paper: mp-type threads "typically do not contain any loops"."""
+        for name in benchmarks_by_type("mp"):
+            assert get_benchmark(name).loop_iters == 0
+
+    def test_stride_type_has_loops_and_stride_delinquents(self):
+        for name in benchmarks_by_type("stride"):
+            spec = get_benchmark(name)
+            assert spec.loop_iters >= 2
+            assert spec.stride_delinquent
+
+    def test_uncoal_type_has_uncoalesced_loads(self):
+        """Every uncoal-type kernel has loads with a full line of stride
+        between every few lanes (several transactions per warp)."""
+        from repro.trace.kernels import Load
+
+        for name in benchmarks_by_type("uncoal"):
+            spec = get_benchmark(name)
+            uncoal_loads = [
+                op for op in spec.body
+                if isinstance(op, Load) and op.lane_stride >= 16
+            ]
+            assert uncoal_loads, name
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            get_benchmark("nope")
+
+    def test_scale_factor(self):
+        full = get_benchmark("monte")
+        half = get_benchmark("monte", scale=0.5)
+        assert half.num_blocks == full.num_blocks // 2
+        tiny = get_benchmark("monte", scale=0.001)
+        assert tiny.num_blocks == 1
+
+    def test_paper_table4_covers_all(self):
+        assert set(PAPER_TABLE4) == set(COMPUTE_BENCHMARKS)
+
+    @pytest.mark.parametrize("name", MEMORY_BENCHMARKS)
+    def test_workloads_generate(self, name):
+        wl = generate_workload(get_benchmark(name, scale=0.1))
+        assert wl.total_warps > 0
+        assert wl.total_instructions() > 0
+        assert wl.comp_inst > 0 and wl.mem_inst > 0
