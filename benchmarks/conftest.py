@@ -12,6 +12,11 @@ Environment knobs:
 * ``REPRO_BENCH_FULL`` — set to 1 to run the sensitivity sweeps (Figs. 16-18)
   over the full 14-benchmark suite and all sweep points instead of the
   representative subset.
+* ``REPRO_BENCH_JOBS`` — worker processes for each figure's run grid
+  (default 1: serial, identical to the historical behavior).
+* ``REPRO_CACHE_DIR`` — when set, completed runs persist there and are
+  reused by later invocations (and by the ``repro`` CLI), so a second
+  ``pytest benchmarks/`` run re-simulates nothing.
 """
 
 import os
@@ -34,9 +39,16 @@ def full_mode() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
 
+def bench_jobs() -> int:
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
-    return ExperimentRunner(scale=bench_scale())
+    # use_cache=None: the persistent result cache engages only when
+    # $REPRO_CACHE_DIR names a directory, keeping default benchmark runs
+    # self-contained.
+    return ExperimentRunner(scale=bench_scale(), jobs=bench_jobs())
 
 
 @pytest.fixture(scope="session")
@@ -48,9 +60,7 @@ def table_runner() -> ExperimentRunner:
     halving the grids halves the TLP and genuinely changes the regime — so
     these two cheap targets always run at scale 1.0.
     """
-    if bench_scale() == 1.0:
-        return ExperimentRunner(scale=1.0)
-    return ExperimentRunner(scale=1.0)
+    return ExperimentRunner(scale=1.0, jobs=bench_jobs())
 
 
 @pytest.fixture(scope="session")

@@ -9,6 +9,17 @@ Commands:
 * ``list`` — list benchmarks and schemes.
 * ``figure`` — regenerate one of the paper's exhibits (table3, table4,
   table6, fig7, fig8, fig10, ..., fig18) and print it.
+
+The simulating commands (``run``, ``compare``, ``figure``) share three
+sweep flags:
+
+* ``--jobs N`` — simulate up to N grid points concurrently in worker
+  processes (default 1: serial).
+* ``--cache-dir DIR`` — persistent result cache location (default
+  ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-mtap``); completed runs are
+  reused across invocations, so the shared no-prefetch baseline is
+  simulated once per machine, ever.
+* ``--no-cache`` — disable the persistent cache for this invocation.
 """
 
 from __future__ import annotations
@@ -23,10 +34,35 @@ from repro.harness.report import format_speedup_figure, format_sweep, format_tab
 from repro.harness.runner import (
     HARDWARE_SCHEMES,
     ExperimentRunner,
-    run_benchmark,
 )
 from repro.trace.benchmarks import COMPUTE_BENCHMARKS, MEMORY_BENCHMARKS
 from repro.trace.swp import SCHEMES as SOFTWARE_SCHEMES
+
+
+def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for grid simulation (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent result cache directory "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro-mtap)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result cache",
+    )
+
+
+def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    return ExperimentRunner(
+        scale=args.scale,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=False if args.no_cache else True,
+        progress=sys.stderr.isatty(),
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -41,11 +77,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--software", default="none", choices=sorted(SOFTWARE_SCHEMES))
     run_p.add_argument("--hardware", default="none", choices=sorted(HARDWARE_SCHEMES))
     run_p.add_argument("--throttle", action="store_true")
-    run_p.add_argument("--distance", type=int, default=1)
+    run_p.add_argument(
+        "--distance", type=int, default=None,
+        help="prefetch distance (default: each scheme's own default)",
+    )
     run_p.add_argument("--degree", type=int, default=1)
     run_p.add_argument("--perfect-memory", action="store_true")
     run_p.add_argument("--scale", type=float, default=1.0)
     run_p.add_argument("--json", action="store_true", help="print stats as JSON")
+    _add_sweep_flags(run_p)
 
     cmp_p = sub.add_parser("compare", help="compare schemes on one benchmark")
     cmp_p.add_argument("benchmark")
@@ -57,6 +97,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cmp_p.add_argument("--throttle", action="store_true")
     cmp_p.add_argument("--scale", type=float, default=1.0)
+    _add_sweep_flags(cmp_p)
 
     sub.add_parser("list", help="list benchmarks and schemes")
 
@@ -70,21 +111,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fig_p.add_argument("--scale", type=float, default=1.0)
     fig_p.add_argument("--subset", nargs="*", default=None)
+    _add_sweep_flags(fig_p)
     return parser
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    baseline = run_benchmark(args.benchmark, scale=args.scale)
-    result = run_benchmark(
-        args.benchmark,
+    runner = _make_runner(args)
+    variant = dict(
         software=args.software,
         hardware=args.hardware,
         throttle=args.throttle,
         distance=args.distance,
         degree=args.degree,
         perfect_memory=args.perfect_memory,
-        scale=args.scale,
     )
+    runner.warm([{"benchmark": args.benchmark},
+                 {"benchmark": args.benchmark, **variant}])
+    baseline = runner.run(args.benchmark)
+    result = runner.run(args.benchmark, **variant)
     stats = result.stats.as_dict()
     stats["speedup_over_baseline"] = result.speedup_over(baseline)
     if args.json:
@@ -103,20 +147,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    baseline = run_benchmark(args.benchmark, scale=args.scale)
+    runner = _make_runner(args)
+    resolved = []
+    for scheme in args.schemes:
+        software = scheme if scheme in SOFTWARE_SCHEMES else "none"
+        hardware = scheme if scheme in HARDWARE_SCHEMES and scheme != "none" else "none"
+        resolved.append((scheme, software, hardware))
+    runner.warm([{"benchmark": args.benchmark}] + [
+        {"benchmark": args.benchmark, "software": sw, "hardware": hw,
+         "throttle": args.throttle}
+        for _, sw, hw in resolved if (sw, hw) != ("none", "none")
+    ])
+    baseline = runner.run(args.benchmark)
     print(f"{'scheme':<20} {'cycles':>9} {'CPI':>7} {'speedup':>8}")
     print("-" * 46)
     print(f"{'baseline':<20} {baseline.cycles:>9} {baseline.cpi:>7.2f} "
           f"{'1.00x':>8}")
-    for scheme in args.schemes:
-        software = scheme if scheme in SOFTWARE_SCHEMES else "none"
-        hardware = scheme if scheme in HARDWARE_SCHEMES and scheme != "none" else "none"
+    for scheme, software, hardware in resolved:
         if software == "none" and hardware == "none":
             print(f"{scheme:<20} unknown scheme", file=sys.stderr)
             continue
-        result = run_benchmark(
+        result = runner.run(
             args.benchmark, software=software, hardware=hardware,
-            throttle=args.throttle, scale=args.scale,
+            throttle=args.throttle,
         )
         print(f"{scheme:<20} {result.cycles:>9} {result.cpi:>7.2f} "
               f"{result.speedup_over(baseline):>7.2f}x")
@@ -136,7 +189,7 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    runner = ExperimentRunner(scale=args.scale)
+    runner = _make_runner(args)
     subset = args.subset or None
     name = args.name
     if name == "table3":

@@ -163,14 +163,14 @@ class MtHwpPrefetcher(HardwarePrefetcher):
                 self.triggers += 1
                 return self.targets_from_stride(addr, entry.stride)
         if ip_trained:
-            # IP hit: prefetch for a warp ``ip_warp_distance`` ahead.
+            # IP hit (Section III-B): prefetch for the warp
+            # ``ip_warp_distance`` warps ahead; extra degree extends the
+            # target list along the per-warp stride (covering the warps
+            # immediately after the target), not by whole warp-distances.
             self.ip_hits += 1
             self.triggers += 1
-            stride = ip_entry.stride * self.ip_warp_distance
-            return [
-                addr + stride + ip_entry.stride * self.ip_warp_distance * k
-                for k in range(self.degree)
-            ]
+            base = addr + ip_entry.stride * self.ip_warp_distance
+            return [base + ip_entry.stride * k for k in range(self.degree)]
         return []
 
     # ------------------------------------------------------------------

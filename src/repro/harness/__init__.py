@@ -1,16 +1,46 @@
 """Experiment harness: run benchmark x prefetcher x config grids and
-reproduce each of the paper's figures and tables."""
+reproduce each of the paper's figures and tables.
+
+The harness is layered: :mod:`repro.harness.sweep` provides the parallel
+sweep engine and the persistent result cache, :mod:`repro.harness.runner`
+normalizes run requests and memoizes results through it, and
+:mod:`repro.harness.experiments` defines the per-figure grids.
+"""
 
 from repro.harness.runner import (
     HARDWARE_SCHEMES,
     ExperimentRunner,
     geometric_mean,
+    make_spec,
     run_benchmark,
+    run_spec,
+)
+from repro.harness.sweep import (
+    SCHEMA_VERSION,
+    ProgressReporter,
+    ResultCache,
+    RunFailure,
+    RunSpec,
+    SweepEngine,
+    build_result_cache,
+    default_cache_dir,
+    fingerprint,
 )
 
 __all__ = [
     "HARDWARE_SCHEMES",
     "ExperimentRunner",
+    "ProgressReporter",
+    "ResultCache",
+    "RunFailure",
+    "RunSpec",
+    "SCHEMA_VERSION",
+    "SweepEngine",
+    "build_result_cache",
+    "default_cache_dir",
+    "fingerprint",
     "geometric_mean",
+    "make_spec",
     "run_benchmark",
+    "run_spec",
 ]

@@ -43,6 +43,21 @@ def _benchmarks(subset: Optional[Sequence[str]]) -> List[str]:
     return list(subset) if subset else list(MEMORY_BENCHMARKS)
 
 
+def _warm(runner: ExperimentRunner, requests: List[Dict]) -> None:
+    """Fan a figure's full run grid out through the runner's sweep engine.
+
+    With ``jobs > 1`` the grid simulates in parallel; with a result cache
+    attached, previously-completed points load from disk.  Either way the
+    serial figure code below each call then reads every run from the
+    runner's memory cache, so result values and ordering are identical to
+    the pure-serial path.  Failures are deliberately not raised here —
+    the strict per-run ``runner.run`` call that follows re-raises them.
+    """
+    warm = getattr(runner, "warm", None)
+    if warm is not None:
+        warm(requests)
+
+
 # ----------------------------------------------------------------------
 # Tables
 # ----------------------------------------------------------------------
@@ -51,6 +66,11 @@ def _benchmarks(subset: Optional[Sequence[str]]) -> List[str]:
 def table3(runner: ExperimentRunner, subset: Optional[Sequence[str]] = None) -> List[Dict]:
     """Table III: benchmark characteristics (ours vs. paper)."""
     rows = []
+    _warm(runner, [
+        {"benchmark": name, "perfect_memory": pmem}
+        for name in _benchmarks(subset)
+        for pmem in (False, True)
+    ])
     for name in _benchmarks(subset):
         spec = get_benchmark(name, scale=runner.scale)
         base = runner.run(name)
@@ -83,6 +103,11 @@ def table4(runner: ExperimentRunner, subset: Optional[Sequence[str]] = None) -> 
     """Table IV: non-memory-intensive benchmarks (base / PMEM / HWP CPI)."""
     names = list(subset) if subset else list(COMPUTE_BENCHMARKS)
     rows = []
+    _warm(runner, [
+        {"benchmark": name, **kwargs}
+        for name in names
+        for kwargs in ({}, {"perfect_memory": True}, {"hardware": "mt-hwp"})
+    ])
     for name in names:
         base = runner.run(name)
         pmem = runner.run(name, perfect_memory=True)
@@ -163,6 +188,11 @@ def figure7(
 def figure8(runner: ExperimentRunner, subset: Optional[Sequence[str]] = None) -> List[Dict]:
     """Fig. 8: normalized average memory latency + accuracy under MT-SWP."""
     rows = []
+    _warm(runner, [
+        {"benchmark": name, **kwargs}
+        for name in _benchmarks(subset)
+        for kwargs in ({}, {"software": "mt-swp"})
+    ])
     for name in _benchmarks(subset):
         base = runner.run(name)
         pref = runner.run(name, software="mt-swp")
@@ -182,6 +212,11 @@ def figure8(runner: ExperimentRunner, subset: Optional[Sequence[str]] = None) ->
 def figure10(runner: ExperimentRunner, subset: Optional[Sequence[str]] = None) -> Dict:
     """Fig. 10: speedup of software prefetching schemes over no-prefetching."""
     rows = []
+    _warm(runner, [
+        {"benchmark": name, "software": scheme}
+        for name in _benchmarks(subset)
+        for scheme in ("none",) + FIG10_SCHEMES
+    ])
     for name in _benchmarks(subset):
         entry = {"benchmark": name}
         for scheme in FIG10_SCHEMES:
@@ -202,6 +237,11 @@ def figure11(runner: ExperimentRunner, subset: Optional[Sequence[str]] = None) -
         ("mt-swp", True),
     )
     rows = []
+    _warm(runner, [
+        {"benchmark": name, "software": sw, "throttle": t}
+        for name in _benchmarks(subset)
+        for sw, t in (("none", False),) + schemes
+    ])
     for name in _benchmarks(subset):
         entry = {"benchmark": name}
         for software, throttle in schemes:
@@ -216,6 +256,13 @@ def figure11(runner: ExperimentRunner, subset: Optional[Sequence[str]] = None) -
 def figure12(runner: ExperimentRunner, subset: Optional[Sequence[str]] = None) -> List[Dict]:
     """Fig. 12: early-prefetch ratio and normalized bandwidth, MT-SWP vs +T."""
     rows = []
+    _warm(runner, [
+        {"benchmark": name, **kwargs}
+        for name in _benchmarks(subset)
+        for kwargs in (
+            {}, {"software": "mt-swp"}, {"software": "mt-swp", "throttle": True},
+        )
+    ])
     for name in _benchmarks(subset):
         base = runner.run(name)
         swp = runner.run(name, software="mt-swp")
@@ -241,6 +288,13 @@ def figure12(runner: ExperimentRunner, subset: Optional[Sequence[str]] = None) -
 def figure13(runner: ExperimentRunner, subset: Optional[Sequence[str]] = None) -> Dict:
     """Fig. 13: previously-proposed HW prefetchers, naive vs warp-id."""
     naive_rows, wid_rows = [], []
+    _warm(runner, [
+        {"benchmark": name, "hardware": hw}
+        for name in _benchmarks(subset)
+        for hw in ("none",) + tuple(
+            p + suffix for p in FIG13_PREFETCHERS for suffix in ("", "_wid")
+        )
+    ])
     for name in _benchmarks(subset):
         naive = {"benchmark": name}
         wid = {"benchmark": name}
@@ -264,6 +318,11 @@ def figure13(runner: ExperimentRunner, subset: Optional[Sequence[str]] = None) -
 def figure14(runner: ExperimentRunner, subset: Optional[Sequence[str]] = None) -> Dict:
     """Fig. 14: MT-HWP table ablation (GHB vs PWS vs +GS vs +IP vs all)."""
     rows = []
+    _warm(runner, [
+        {"benchmark": name, "hardware": hw}
+        for name in _benchmarks(subset)
+        for hw in ("none",) + FIG14_CONFIGS
+    ])
     for name in _benchmarks(subset):
         entry = {"benchmark": name}
         for scheme in FIG14_CONFIGS:
@@ -277,6 +336,11 @@ def figure15(runner: ExperimentRunner, subset: Optional[Sequence[str]] = None) -
     """Fig. 15: throttling/feedback for hardware prefetchers."""
     rows = []
     labels = [h + ("+T" if t else "") for h, t in FIG15_SCHEMES]
+    _warm(runner, [
+        {"benchmark": name, "hardware": hw, "throttle": t}
+        for name in _benchmarks(subset)
+        for hw, t in (("none", False),) + FIG15_SCHEMES
+    ])
     for name in _benchmarks(subset):
         entry = {"benchmark": name}
         for (hardware, throttle), label in zip(FIG15_SCHEMES, labels):
@@ -305,6 +369,16 @@ def figure16(
     )
     names = _benchmarks(subset)
     result: Dict[str, Dict[int, float]] = {label: {} for *_, label in schemes}
+    _warm(runner, [
+        {"benchmark": name, "software": sw, "hardware": hw, "throttle": t,
+         "config": baseline_config(
+             prefetch_cache=PrefetchCacheConfig(size_bytes=size * 1024))}
+        for size in sizes_kb
+        for name in names
+        for sw, hw, t in (
+            ("none", "none", False),
+        ) + tuple(s[:3] for s in schemes)
+    ])
     for size in sizes_kb:
         cfg = baseline_config(
             prefetch_cache=PrefetchCacheConfig(size_bytes=size * 1024)
@@ -329,6 +403,11 @@ def figure17(
     """Fig. 17: sensitivity of MT-HWP to prefetch distance."""
     names = _benchmarks(subset)
     rows = []
+    _warm(runner, [{"benchmark": name} for name in names] + [
+        {"benchmark": name, "hardware": "mt-hwp", "distance": d}
+        for name in names
+        for d in distances
+    ])
     for name in names:
         entry = {"benchmark": name}
         for distance in distances:
@@ -352,6 +431,15 @@ def figure18(
     )
     names = _benchmarks(subset)
     result: Dict[str, Dict[int, float]] = {label: {} for *_, label in schemes}
+    _warm(runner, [
+        {"benchmark": name, "software": sw, "hardware": hw, "throttle": t,
+         "config": baseline_config(num_cores=cores)}
+        for cores in core_counts
+        for name in names
+        for sw, hw, t in (
+            ("none", "none", False),
+        ) + tuple(s[:3] for s in schemes)
+    ])
     for cores in core_counts:
         cfg = baseline_config(num_cores=cores)
         for software, hardware, throttle, label in schemes:

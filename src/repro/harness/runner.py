@@ -21,7 +21,9 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Callable, Dict, Iterable, List, Optional, Union
+import warnings
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.core.feedback import FeedbackGhbPrefetcher, LatenessThrottledStridePc
 from repro.core.ghb import GhbPrefetcher
@@ -29,6 +31,15 @@ from repro.core.mt_hwp import MtHwpPrefetcher
 from repro.core.stream_pref import StreamPrefetcher
 from repro.core.stride_pc import StridePcPrefetcher
 from repro.core.stride_rpt import StrideRptPrefetcher
+from repro.harness.sweep import (
+    Outcome,
+    ProgressReporter,
+    RunFailure,
+    RunSpec,
+    SweepEngine,
+    build_result_cache,
+    fingerprint,
+)
 from repro.sim.config import GpuConfig, ThrottleConfig, baseline_config
 from repro.sim.gpu import GpuSimulator, SimulationResult
 from repro.trace.benchmarks import get_benchmark
@@ -83,12 +94,109 @@ def resolve_software(software: Union[str, SoftwarePrefetchConfig]) -> SoftwarePr
         ) from None
 
 
+def _normalize_scheme_args(
+    software: Union[str, SoftwarePrefetchConfig],
+    hardware: str,
+    distance: Optional[int],
+) -> tuple:
+    """Shared normalization for :func:`run_benchmark` and :func:`make_spec`.
+
+    ``distance=None`` is the sentinel for "scheme default": the software
+    config keeps its own distance and the hardware prefetcher uses 1.  Any
+    explicit integer — including 1 — overrides both, which is what makes
+    it possible to sweep a software scheme's distance back down to 1.
+    """
+    swp = resolve_software(software)
+    if distance is not None and swp.distance != distance:
+        swp = dataclasses.replace(swp, distance=distance)
+    if hardware not in HARDWARE_SCHEMES:
+        raise KeyError(
+            f"unknown hardware scheme {hardware!r}; choose from "
+            f"{sorted(HARDWARE_SCHEMES)}"
+        )
+    hw_distance = 1 if distance is None else distance
+    return swp, hw_distance
+
+
+def make_spec(
+    benchmark: str,
+    software: Union[str, SoftwarePrefetchConfig] = "none",
+    hardware: str = "none",
+    throttle: bool = False,
+    distance: Optional[int] = None,
+    degree: int = 1,
+    config: Optional[GpuConfig] = None,
+    perfect_memory: bool = False,
+    scale: float = 1.0,
+) -> RunSpec:
+    """Normalize :func:`run_benchmark`-style arguments into a :class:`RunSpec`.
+
+    The normalization is canonical: two argument sets that would produce
+    the same simulation produce the same spec, and therefore the same
+    cache fingerprint.  Unknown software/hardware scheme names raise
+    ``KeyError`` here, before anything is simulated or cached.
+    """
+    swp, hw_distance = _normalize_scheme_args(software, hardware, distance)
+    return RunSpec(
+        benchmark=benchmark,
+        software=swp,
+        hardware=hardware,
+        throttle=bool(throttle),
+        distance=hw_distance,
+        degree=degree,
+        perfect_memory=bool(perfect_memory),
+        scale=scale,
+        config=config or baseline_config(),
+    )
+
+
+def _simulate(
+    kernel: KernelSpec,
+    swp: SoftwarePrefetchConfig,
+    builder: Optional[Callable],
+    distance: int,
+    degree: int,
+    cfg: GpuConfig,
+    throttle: bool,
+    perfect_memory: bool,
+) -> SimulationResult:
+    """The single execution path behind every run (serial, pooled, cached)."""
+    if perfect_memory:
+        cfg = cfg.replace(perfect_memory=True)
+    if throttle != cfg.throttle.enabled:
+        cfg = cfg.replace(throttle=dataclasses.replace(cfg.throttle, enabled=throttle))
+    factory = (
+        (lambda core_id: builder(distance, degree)) if builder is not None else None
+    )
+    workload = generate_workload(kernel, swp=swp)
+    sim = GpuSimulator(cfg, factory)
+    sim.load_workload(workload.blocks, workload.max_blocks_per_core)
+    result = sim.run()
+    result.stats.benchmark = kernel.name
+    return result
+
+
+def run_spec(spec: RunSpec) -> SimulationResult:
+    """Execute one fully-normalized :class:`RunSpec`.
+
+    This is the sweep-engine worker entry point; no further defaulting
+    happens here, so a spec simulates identically no matter which process
+    runs it.
+    """
+    kernel = get_benchmark(spec.benchmark, scale=spec.scale)
+    builder = HARDWARE_SCHEMES[spec.hardware]
+    return _simulate(
+        kernel, spec.software, builder, spec.distance, spec.degree,
+        spec.config, spec.throttle, spec.perfect_memory,
+    )
+
+
 def run_benchmark(
     benchmark: Union[str, KernelSpec],
     software: Union[str, SoftwarePrefetchConfig] = "none",
     hardware: str = "none",
     throttle: bool = False,
-    distance: int = 1,
+    distance: Optional[int] = None,
     degree: int = 1,
     config: Optional[GpuConfig] = None,
     perfect_memory: bool = False,
@@ -104,50 +212,84 @@ def run_benchmark(
         throttle: Enable the adaptive throttle engine (applies to both
             software and hardware prefetch requests).
         distance, degree: Prefetcher aggressiveness (hardware and software).
+            ``distance=None`` keeps each scheme's own default; an explicit
+            value — including 1 — overrides it.
         config: Machine configuration; defaults to the Table II baseline.
         perfect_memory: All memory requests complete instantly (for the
             PMEM CPI columns of Tables III/IV).
         scale: Grid scale factor passed to :func:`get_benchmark`.
     """
     if isinstance(benchmark, KernelSpec):
-        spec = benchmark
-    else:
-        spec = get_benchmark(benchmark, scale=scale)
-    swp = resolve_software(software)
-    if swp.distance != distance and distance != 1:
-        swp = dataclasses.replace(swp, distance=distance)
-    cfg = config or baseline_config()
-    if perfect_memory:
-        cfg = cfg.replace(perfect_memory=True)
-    if throttle != cfg.throttle.enabled:
-        cfg = cfg.replace(throttle=dataclasses.replace(cfg.throttle, enabled=throttle))
-    builder = HARDWARE_SCHEMES.get(hardware, "missing")
-    if builder == "missing":
-        raise KeyError(
-            f"unknown hardware scheme {hardware!r}; choose from "
-            f"{sorted(HARDWARE_SCHEMES)}"
+        swp, hw_distance = _normalize_scheme_args(software, hardware, distance)
+        return _simulate(
+            benchmark, swp, HARDWARE_SCHEMES[hardware], hw_distance, degree,
+            config or baseline_config(), throttle, perfect_memory,
         )
-    factory = (lambda core_id: builder(distance, degree)) if builder else None
-    workload = generate_workload(spec, swp=swp)
-    sim = GpuSimulator(cfg, factory)
-    sim.load_workload(workload.blocks, workload.max_blocks_per_core)
-    result = sim.run()
-    result.stats.extra["benchmark"] = spec.name  # type: ignore[assignment]
-    return result
+    return run_spec(make_spec(
+        benchmark, software=software, hardware=hardware, throttle=throttle,
+        distance=distance, degree=degree, config=config,
+        perfect_memory=perfect_memory, scale=scale,
+    ))
 
 
 class ExperimentRunner:
-    """Memoizing front end over :func:`run_benchmark`.
+    """Memoizing front end over the sweep engine.
 
     Figure scripts share many runs (above all the no-prefetching baseline);
-    the runner caches each completed simulation under its full parameter
-    tuple.
+    the runner keeps each completed simulation in memory under its spec
+    fingerprint, and — when a cache directory is configured — in the
+    persistent on-disk result cache shared machine-wide, so the baseline
+    is simulated exactly once, ever, per machine.
+
+    Args:
+        config: Default machine configuration for all runs.
+        scale: Grid scale factor for all runs.
+        jobs: Worker processes for :meth:`warm` sweeps (1 = serial inline).
+        cache_dir: On-disk result cache directory; ``None`` defers to
+            ``use_cache`` / ``$REPRO_CACHE_DIR``.
+        use_cache: ``True`` forces caching on (default directory if
+            ``cache_dir`` is unset), ``False`` forces it off, ``None``
+            (default) enables it only when a directory was named.
+        progress: Emit a progress/ETA line to stderr during sweeps.
+        timeout: Stall timeout in seconds for parallel sweeps.
     """
 
-    def __init__(self, config: Optional[GpuConfig] = None, scale: float = 1.0) -> None:
+    def __init__(
+        self,
+        config: Optional[GpuConfig] = None,
+        scale: float = 1.0,
+        jobs: int = 1,
+        cache_dir: Union[str, Path, None] = None,
+        use_cache: Optional[bool] = None,
+        progress: bool = False,
+        timeout: Optional[float] = None,
+    ) -> None:
         self.config = config or baseline_config()
         self.scale = scale
-        self._cache: Dict[tuple, SimulationResult] = {}
+        self.engine = SweepEngine(
+            cache=build_result_cache(cache_dir, use_cache),
+            jobs=jobs,
+            timeout=timeout,
+            progress=ProgressReporter(enabled=progress),
+        )
+        self._cache: Dict[str, SimulationResult] = {}
+
+    def _spec(
+        self,
+        benchmark: str,
+        software: Union[str, SoftwarePrefetchConfig] = "none",
+        hardware: str = "none",
+        throttle: bool = False,
+        distance: Optional[int] = None,
+        degree: int = 1,
+        perfect_memory: bool = False,
+        config: Optional[GpuConfig] = None,
+    ) -> RunSpec:
+        return make_spec(
+            benchmark, software=software, hardware=hardware, throttle=throttle,
+            distance=distance, degree=degree, config=config or self.config,
+            perfect_memory=perfect_memory, scale=self.scale,
+        )
 
     def run(
         self,
@@ -155,30 +297,56 @@ class ExperimentRunner:
         software: Union[str, SoftwarePrefetchConfig] = "none",
         hardware: str = "none",
         throttle: bool = False,
-        distance: int = 1,
+        distance: Optional[int] = None,
         degree: int = 1,
         perfect_memory: bool = False,
         config: Optional[GpuConfig] = None,
     ) -> SimulationResult:
-        cfg = config or self.config
-        swp = resolve_software(software)
-        key = (
-            benchmark, swp, hardware, throttle, distance, degree,
-            perfect_memory, cfg, self.scale,
+        """Run (or recall) one combination.  Failures re-raise the original
+        exception — single runs are strict; only sweeps isolate faults."""
+        spec = self._spec(
+            benchmark, software, hardware, throttle, distance, degree,
+            perfect_memory, config,
         )
-        if key not in self._cache:
-            self._cache[key] = run_benchmark(
-                benchmark,
-                software=swp,
-                hardware=hardware,
-                throttle=throttle,
-                distance=distance,
-                degree=degree,
-                config=cfg,
-                perfect_memory=perfect_memory,
-                scale=self.scale,
-            )
-        return self._cache[key]
+        key = fingerprint(spec)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+        outcome = self.engine.run([spec])[0]
+        if isinstance(outcome, RunFailure):
+            if outcome.exception is not None:
+                raise outcome.exception
+            raise RuntimeError(f"run failed: {outcome.error}")
+        self._cache[key] = outcome
+        return outcome
+
+    def warm(self, requests: Iterable[Mapping[str, object]]) -> List[Outcome]:
+        """Fan a grid of run requests out over the worker pool.
+
+        Each request is a dict of :meth:`run` keyword arguments.  Results
+        land in the runner's memory (and disk) cache, so the figure code
+        that follows reads them back instantly and in deterministic
+        order.  Failed runs are returned as :class:`RunFailure` entries
+        in the corresponding slots; they are not cached, so a later
+        :meth:`run` of the same point re-executes (and re-raises).
+        """
+        pairs = []
+        for request in requests:
+            spec = self._spec(**request)
+            pairs.append((fingerprint(spec), spec))
+        missing = [(k, s) for k, s in pairs if k not in self._cache]
+        outcomes = dict(
+            zip((k for k, _ in missing),
+                self.engine.run([s for _, s in missing]))
+        )
+        for key, _ in missing:
+            outcome = outcomes[key]
+            if not isinstance(outcome, RunFailure):
+                self._cache.setdefault(key, outcome)
+        return [
+            outcomes[key] if key in outcomes else self._cache[key]
+            for key, _ in pairs
+        ]
 
     def baseline(self, benchmark: str) -> SimulationResult:
         """The no-prefetching run every figure normalizes against."""
@@ -190,7 +358,7 @@ class ExperimentRunner:
         software: Union[str, SoftwarePrefetchConfig] = "none",
         hardware: str = "none",
         throttle: bool = False,
-        distance: int = 1,
+        distance: Optional[int] = None,
         degree: int = 1,
         config: Optional[GpuConfig] = None,
     ) -> float:
@@ -212,8 +380,23 @@ class ExperimentRunner:
 
 
 def geometric_mean(values: Iterable[float]) -> float:
-    """Geometric mean, the paper's cross-benchmark average."""
-    vals = [v for v in values if v > 0]
+    """Geometric mean, the paper's cross-benchmark average.
+
+    Non-positive values are excluded (a zero-cycle run has no meaningful
+    speedup) — but never silently: excluding them skews the mean upward
+    and usually indicates a failed or degenerate simulation, so a
+    ``RuntimeWarning`` is emitted naming the dropped count.
+    """
+    all_vals = list(values)
+    vals = [v for v in all_vals if v > 0]
+    if len(vals) != len(all_vals):
+        warnings.warn(
+            f"geometric_mean: dropped {len(all_vals) - len(vals)} non-positive "
+            f"value(s) out of {len(all_vals)} — a zero speedup usually means a "
+            "failed (zero-cycle) simulation",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     if not vals:
         return 0.0
     return math.exp(sum(math.log(v) for v in vals) / len(vals))

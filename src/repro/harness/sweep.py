@@ -1,0 +1,470 @@
+"""Parallel sweep engine with a persistent on-disk result cache.
+
+Every simulation in this reproduction is a pure function of its parameter
+tuple — the trace generator is deterministic and the simulator has no
+hidden state — so two properties fall out for free and this module
+exploits both:
+
+* **Embarrassing parallelism.**  A figure's benchmark x scheme x
+  aggressiveness grid can fan out over a process pool
+  (:class:`SweepEngine`), with deterministic result ordering (outputs are
+  returned in input order regardless of completion order) and worker-level
+  fault isolation (a crashed or stalled run records a structured
+  :class:`RunFailure` instead of killing the sweep).
+
+* **Machine-wide memoization.**  A completed run's statistics can be
+  persisted on disk (:class:`ResultCache`) keyed by a stable fingerprint
+  of the *full* normalized parameter tuple — ``(benchmark, software,
+  hardware, throttle, distance, degree, config, perfect_memory, scale)``
+  — plus a schema version.  Any process that later needs the same run
+  (above all the shared no-prefetching baseline every figure normalizes
+  against) loads it instead of re-simulating.
+
+Cache invalidation contract: :data:`SCHEMA_VERSION` must be bumped
+whenever a change alters simulation semantics (timing model, prefetcher
+behavior, trace generation, stats definitions).  Configuration changes
+need no bump — every code-relevant config field is part of the
+fingerprint, so a changed config is simply a different key.  See
+``DESIGN.md`` for the full rules.
+
+The execution entry point for one spec lives in
+:func:`repro.harness.runner.run_spec`; this module only imports it inside
+the worker so that ``runner`` can import ``sweep`` without a cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import sys
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, TextIO, Union
+
+from repro.sim.config import GpuConfig
+from repro.sim.gpu import SimulationResult
+from repro.sim.stats import SimStats
+from repro.trace.swp import SoftwarePrefetchConfig
+
+#: Bump whenever a code change alters what any cached result would contain:
+#: simulator timing, prefetcher algorithms, trace generation, or the
+#: :class:`SimStats` field set.  Old cache entries live under a versioned
+#: subdirectory and are simply never read again after a bump.
+SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default machine-wide cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-normalized simulation request.
+
+    Build these with :func:`repro.harness.runner.make_spec`, which applies
+    the same defaulting as :func:`repro.harness.runner.run_benchmark`
+    (scheme-name resolution, the distance sentinel, baseline config) so
+    that equal requests always normalize to equal specs — the property the
+    cache fingerprint relies on.
+    """
+
+    benchmark: str
+    software: SoftwarePrefetchConfig
+    hardware: str
+    throttle: bool
+    distance: int
+    degree: int
+    perfect_memory: bool
+    scale: float
+    config: GpuConfig
+
+
+@dataclass
+class RunFailure:
+    """Structured record of one run that crashed or timed out.
+
+    Sweeps never die because one grid point did: the failure is returned
+    in the run's output slot and the remaining runs proceed.  ``exception``
+    carries the original exception object when one is available (both the
+    inline path and the pool path preserve it), so strict callers can
+    re-raise it.
+    """
+
+    spec: RunSpec
+    key: str
+    kind: str  #: ``"exception"`` or ``"timeout"``
+    error: str
+    traceback: str = ""
+    exception: Optional[BaseException] = None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RunFailure({self.spec.benchmark}, {self.kind}: {self.error})"
+
+
+Outcome = Union[SimulationResult, RunFailure]
+
+
+# ----------------------------------------------------------------------
+# Fingerprinting
+# ----------------------------------------------------------------------
+
+
+def fingerprint(spec: RunSpec) -> str:
+    """Stable hex digest of a spec plus the cache schema version.
+
+    The digest covers every field of the spec, including the complete
+    nested :class:`GpuConfig` — any machine-configuration change yields a
+    different key, which is what makes the on-disk cache safe to share
+    across sweeps with different configs.
+    """
+    payload = {"schema": SCHEMA_VERSION, "spec": dataclasses.asdict(spec)}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Persistent result store
+# ----------------------------------------------------------------------
+
+
+def default_cache_dir() -> Path:
+    """Machine-wide cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-mtap``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-mtap"
+
+
+class ResultCache:
+    """Persistent key -> :class:`SimStats` store shared across processes.
+
+    Layout: ``<root>/v<SCHEMA_VERSION>/<key[:2]>/<key>.json``, one file
+    per result holding the spec (for auditability) and the raw stats
+    counters.  Writes are atomic (temp file + ``os.replace``) so
+    concurrent sweep workers and concurrent sweeps can share a directory;
+    corrupt or unreadable entries are treated as misses.  I/O errors
+    degrade gracefully: a cache that cannot write simply stops caching.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root) / f"v{SCHEMA_VERSION}"
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.errors = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimStats]:
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if payload.get("schema") != SCHEMA_VERSION:
+                raise ValueError("schema mismatch")
+            stats = SimStats.from_dict(payload["stats"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupt / foreign entry: ignore it (a later put overwrites).
+            self.errors += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return stats
+
+    def put(self, key: str, spec: RunSpec, stats: SimStats) -> None:
+        path = self.path_for(key)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "spec": dataclasses.asdict(spec),
+            "stats": stats.to_dict(),
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            self.errors += 1
+            return
+        self.stores += 1
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+def build_result_cache(
+    cache_dir: Union[str, Path, None] = None,
+    use_cache: Optional[bool] = None,
+) -> Optional[ResultCache]:
+    """Resolve the (cache_dir, use_cache) knob pair into a cache or ``None``.
+
+    * ``use_cache=False`` — caching off, regardless of ``cache_dir``.
+    * ``use_cache=True`` — caching on, in ``cache_dir`` or the default
+      machine-wide directory.
+    * ``use_cache=None`` (auto) — caching on only when a directory was
+      named explicitly (``cache_dir`` argument or ``$REPRO_CACHE_DIR``).
+    """
+    if use_cache is False:
+        return None
+    if cache_dir is not None:
+        return ResultCache(cache_dir)
+    if use_cache:
+        return ResultCache(default_cache_dir())
+    env = os.environ.get(CACHE_DIR_ENV)
+    return ResultCache(env) if env else None
+
+
+# ----------------------------------------------------------------------
+# Progress / ETA reporting
+# ----------------------------------------------------------------------
+
+
+class ProgressReporter:
+    """Single-line progress + ETA reporter for long sweeps.
+
+    Writes carriage-return-updated status lines to ``stream`` (stderr by
+    default).  Disabled reporters are no-ops, so the engine can call them
+    unconditionally.
+    """
+
+    def __init__(self, enabled: bool = True, stream: Optional[TextIO] = None,
+                 label: str = "sweep") -> None:
+        self.enabled = enabled
+        self.stream = stream if stream is not None else sys.stderr
+        self.label = label
+        self.total = 0
+        self.done = 0
+        self.cached = 0
+        self.failed = 0
+        self._t0 = 0.0
+
+    def start(self, total: int, cached: int = 0) -> None:
+        self.total = total
+        self.done = cached
+        self.cached = cached
+        self.failed = 0
+        self._t0 = time.monotonic()
+        self._emit()
+
+    def step(self, failed: bool = False) -> None:
+        self.done += 1
+        if failed:
+            self.failed += 1
+        self._emit()
+
+    def finish(self) -> None:
+        if self.enabled and self.total:
+            self._emit()
+            self.stream.write("\n")
+            self.stream.flush()
+
+    def _emit(self) -> None:
+        if not self.enabled or not self.total:
+            return
+        elapsed = time.monotonic() - self._t0
+        simulated = self.done - self.cached
+        if simulated > 0 and self.done < self.total:
+            eta = elapsed / simulated * (self.total - self.done)
+            eta_text = f" eta {eta:6.1f}s"
+        else:
+            eta_text = ""
+        line = (
+            f"[{self.label}] {self.done}/{self.total} done"
+            f" ({self.cached} cached, {self.failed} failed)"
+            f" elapsed {elapsed:6.1f}s{eta_text}"
+        )
+        self.stream.write("\r" + line)
+        self.stream.flush()
+
+
+# ----------------------------------------------------------------------
+# Worker
+# ----------------------------------------------------------------------
+
+
+def _sweep_worker(spec: RunSpec) -> SimStats:
+    """Pool entry point: execute one spec, return its (picklable) stats.
+
+    Imported lazily so ``runner`` -> ``sweep`` stays a one-way module
+    dependency.  Only the stats travel back over the pipe; the simulator
+    object graph (cores, DRAM) stays in the worker.
+    """
+    from repro.harness.runner import run_spec
+
+    return run_spec(spec).stats
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+
+
+class SweepEngine:
+    """Fan a list of :class:`RunSpec` out over workers, cache the results.
+
+    * Duplicate specs are simulated once and share one result object.
+    * With a cache attached, previously-completed runs (from any process,
+      ever) are loaded instead of simulated.
+    * ``jobs <= 1`` — or a single miss — runs inline in this process (no
+      pool overhead, full :class:`SimulationResult` with live core/DRAM
+      handles); ``jobs >= 2`` uses a process pool and reconstructs
+      stats-only results.
+    * Results are returned in input order, one outcome per input spec,
+      each either a :class:`SimulationResult` or a :class:`RunFailure`.
+    * ``timeout`` is a stall timeout for the pool path: if no run
+      completes for ``timeout`` seconds, every still-running spec is
+      recorded as a timeout failure and the sweep returns.
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        progress: Optional[ProgressReporter] = None,
+        worker: Callable[[RunSpec], SimStats] = _sweep_worker,
+    ) -> None:
+        self.cache = cache
+        self.jobs = max(1, int(jobs))
+        self.timeout = timeout
+        self.progress = progress or ProgressReporter(enabled=False)
+        self.worker = worker
+        # Cumulative counters, exposed so callers (and the acceptance
+        # tests) can verify e.g. that a warm re-run simulated nothing.
+        self.simulated = 0
+        self.cache_hits = 0
+        self.failures = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, specs: Sequence[RunSpec]) -> List[Outcome]:
+        keys = [fingerprint(spec) for spec in specs]
+        unique: Dict[str, RunSpec] = {}
+        for key, spec in zip(keys, specs):
+            unique.setdefault(key, spec)
+
+        outcomes: Dict[str, Outcome] = {}
+        if self.cache is not None:
+            for key, spec in unique.items():
+                stats = self.cache.get(key)
+                if stats is not None:
+                    outcomes[key] = SimulationResult(stats)
+                    self.cache_hits += 1
+
+        misses = [(k, s) for k, s in unique.items() if k not in outcomes]
+        self.progress.start(len(unique), cached=len(outcomes))
+        if misses:
+            if self.jobs <= 1 or len(misses) == 1:
+                self._run_inline(misses, outcomes)
+            else:
+                self._run_pool(misses, outcomes)
+        self.progress.finish()
+        return [outcomes[key] for key in keys]
+
+    # ------------------------------------------------------------------
+
+    def _record_success(
+        self, key: str, spec: RunSpec, result: SimulationResult,
+        outcomes: Dict[str, Outcome],
+    ) -> None:
+        outcomes[key] = result
+        self.simulated += 1
+        if self.cache is not None:
+            self.cache.put(key, spec, result.stats)
+        self.progress.step()
+
+    def _record_failure(
+        self, key: str, spec: RunSpec, kind: str, exc: Optional[BaseException],
+        outcomes: Dict[str, Outcome], message: Optional[str] = None,
+    ) -> None:
+        tb = ""
+        if exc is not None:
+            tb = "".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            )
+        outcomes[key] = RunFailure(
+            spec=spec,
+            key=key,
+            kind=kind,
+            error=message if message is not None else f"{type(exc).__name__}: {exc}",
+            traceback=tb,
+            exception=exc,
+        )
+        self.failures += 1
+        self.progress.step(failed=True)
+
+    # ------------------------------------------------------------------
+
+    def _run_inline(
+        self, misses: Sequence, outcomes: Dict[str, Outcome]
+    ) -> None:
+        from repro.harness.runner import run_spec
+
+        for key, spec in misses:
+            try:
+                if self.worker is _sweep_worker:
+                    # Inline default path: keep the full result object
+                    # (live cores/DRAM handles) instead of stats only.
+                    result = run_spec(spec)
+                else:
+                    result = SimulationResult(self.worker(spec))
+            except Exception as exc:  # noqa: BLE001 - fault isolation
+                self._record_failure(key, spec, "exception", exc, outcomes)
+            else:
+                self._record_success(key, spec, result, outcomes)
+
+    def _run_pool(
+        self, misses: Sequence, outcomes: Dict[str, Outcome]
+    ) -> None:
+        executor = ProcessPoolExecutor(max_workers=min(self.jobs, len(misses)))
+        timed_out = False
+        try:
+            futures = {
+                executor.submit(self.worker, spec): (key, spec)
+                for key, spec in misses
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(
+                    pending, timeout=self.timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # Stall: nothing completed within the timeout window.
+                    timed_out = True
+                    for fut in pending:
+                        fut.cancel()
+                        key, spec = futures[fut]
+                        self._record_failure(
+                            key, spec, "timeout", None, outcomes,
+                            message=(
+                                f"no completion within {self.timeout}s;"
+                                " run abandoned"
+                            ),
+                        )
+                    break
+                for fut in done:
+                    key, spec = futures[fut]
+                    try:
+                        stats = fut.result()
+                    except Exception as exc:  # noqa: BLE001 - fault isolation
+                        self._record_failure(key, spec, "exception", exc, outcomes)
+                    else:
+                        self._record_success(
+                            key, spec, SimulationResult(stats), outcomes
+                        )
+        finally:
+            # After a stall, don't block on the hung workers; orphaned
+            # runs finish (or die) on their own without affecting us.
+            executor.shutdown(wait=not timed_out, cancel_futures=timed_out)

@@ -25,9 +25,20 @@ PrefetcherFactory = Callable[[int], Optional[HardwarePrefetcher]]
 
 
 class SimulationResult:
-    """Outcome of one simulation: the stats plus handles for inspection."""
+    """Outcome of one simulation: the stats plus handles for inspection.
 
-    def __init__(self, stats: SimStats, cores: List[Core], dram: Dram) -> None:
+    ``cores`` and ``dram`` are live simulator handles when the run
+    executed in this process; results reconstructed from the sweep
+    engine's result cache (or shipped back from a pool worker) are
+    stats-only and carry ``None`` for both.
+    """
+
+    def __init__(
+        self,
+        stats: SimStats,
+        cores: Optional[List[Core]] = None,
+        dram: Optional[Dram] = None,
+    ) -> None:
         self.stats = stats
         self.cores = cores
         self.dram = dram

@@ -8,7 +8,7 @@ coverage/lateness used in the text's per-benchmark explanations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
@@ -40,6 +40,10 @@ class SimStats:
     dram_row_hits: int = 0
     dram_row_misses: int = 0
     stall_cycles: int = 0
+    #: Name of the simulated benchmark (set by the harness; "" for raw
+    #: simulator runs).  A real typed field so reports and the result
+    #: cache can carry it without smuggling strings through ``extra``.
+    benchmark: str = ""
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -127,10 +131,40 @@ class SimStats:
             return 0.0
         return self.dram_row_hits / total
 
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless raw-field serialization (for the on-disk result cache).
+
+        Only dataclass fields are included — derived metrics are
+        properties and reconstruct for free.  The inverse is
+        :meth:`from_dict`.
+        """
+        out: Dict[str, object] = {
+            f.name: getattr(self, f.name) for f in fields(self) if f.name != "extra"
+        }
+        out["extra"] = dict(self.extra)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimStats":
+        """Rebuild stats from :meth:`to_dict` output.
+
+        Unknown keys are ignored so newer writers stay readable by older
+        readers within one cache schema version.
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        extra = kwargs.get("extra")
+        if extra is not None:
+            kwargs["extra"] = dict(extra)
+        return cls(**kwargs)
+
     def as_dict(self) -> Dict[str, float]:
         """Flatten counters and derived metrics for reporting."""
         out: Dict[str, float] = {
-            name: getattr(self, name)
+            "benchmark": self.benchmark,
+        }
+        out.update(
+            (name, getattr(self, name))
             for name in (
                 "cycles",
                 "instructions",
@@ -152,6 +186,6 @@ class SimStats:
                 "merge_ratio",
                 "row_hit_rate",
             )
-        }
+        )
         out.update(self.extra)
         return out

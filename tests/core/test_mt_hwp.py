@@ -114,6 +114,18 @@ class TestIpTable:
             targets = pref.observe(0x20, wid, wid * 128, wid)
         assert targets == [3 * 128 + 8 * 128]
 
+    def test_ip_degree_extends_along_stride(self):
+        """Regression (Section III-B): degree-2 IP covers the target warp and
+        the warp right after it — consecutive strides past the base target,
+        not whole warp-distance hops."""
+        pref = MtHwpPrefetcher(
+            enable_gs=False, enable_pws=False, ip_warp_distance=8, degree=2
+        )
+        for wid in range(4):
+            targets = pref.observe(0x20, wid, wid * 128, wid)
+        base = 3 * 128 + 8 * 128
+        assert targets == [base, base + 128]
+
 
 class TestPriority:
     def test_trained_pws_beats_ip(self):

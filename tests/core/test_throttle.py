@@ -99,7 +99,38 @@ class TestEq8MergeAverage:
         assert engine.early_eviction_rate == 0.0
 
 
+class TestTableIBoundaries:
+    """Threshold edges: > high is strict, >= low catches the medium band,
+    > merge_high is strict."""
+
+    def test_rate_exactly_high_is_medium_band(self):
+        engine = make_engine()
+        engine.update(window(early=30, useful=100, merges=50))  # rate == high
+        assert engine.degree == 3  # medium row: increase, not disable
+
+    def test_rate_exactly_low_is_medium_band(self):
+        engine = make_engine()
+        engine.update(window(early=15, useful=100, merges=50))  # rate == low
+        assert engine.degree == 3
+
+    def test_merge_exactly_threshold_is_low(self):
+        engine = make_engine(merge_high=0.5)
+        engine.update(window(early=0, merges=50, requests=100))  # ratio == 0.5
+        assert engine.degree == engine.config.max_degree  # Low/Low row
+
+
 class TestDropping:
+    @pytest.mark.parametrize("degree", range(6))
+    def test_drop_pattern_per_degree(self, degree):
+        """Deterministic gating: with throttle degree d, each window of 5
+        consecutive prefetches drops exactly the first d."""
+        engine = make_engine(initial_degree=degree)
+        outcomes = [engine.allow_prefetch() for _ in range(15)]
+        expected_window = [False] * degree + [True] * (5 - degree)
+        assert outcomes == expected_window * 3
+        assert engine.total_dropped == 3 * degree
+        assert engine.total_allowed == 3 * (5 - degree)
+
     def test_degree_zero_allows_all(self):
         engine = make_engine(initial_degree=0)
         assert all(engine.allow_prefetch() for _ in range(20))

@@ -51,6 +51,82 @@ class TestSchemeRegistry:
         with pytest.raises(KeyError):
             run_benchmark("monte", hardware="bogus", scale=0.05)
 
+    def test_scheme_named_missing_is_dispatchable(self):
+        """Membership dispatch must not confuse a real scheme with the old
+        'missing' sentinel string."""
+        from repro.core.stride_pc import StridePcPrefetcher
+        from repro.harness.runner import make_spec
+
+        HARDWARE_SCHEMES["missing"] = lambda d, g: StridePcPrefetcher(
+            distance=d, degree=g
+        )
+        try:
+            spec = make_spec("cell", hardware="missing", scale=0.05)
+            assert spec.hardware == "missing"
+        finally:
+            del HARDWARE_SCHEMES["missing"]
+        with pytest.raises(KeyError):
+            make_spec("cell", hardware="missing", scale=0.05)
+
+
+class TestDistanceSentinel:
+    """An explicit distance always applies; None keeps scheme defaults."""
+
+    def test_explicit_distance_one_overrides_software_scheme(self):
+        from repro.harness.runner import make_spec
+        from repro.trace.swp import SoftwarePrefetchConfig
+
+        swp = SoftwarePrefetchConfig(stride=True, distance=4)
+        spec = make_spec("cell", software=swp, distance=1)
+        assert spec.software.distance == 1
+        assert spec.distance == 1
+
+    def test_default_keeps_software_scheme_distance(self):
+        from repro.harness.runner import make_spec
+        from repro.trace.swp import SoftwarePrefetchConfig
+
+        swp = SoftwarePrefetchConfig(stride=True, distance=4)
+        spec = make_spec("cell", software=swp)
+        assert spec.software.distance == 4
+        assert spec.distance == 1  # hardware default is unaffected
+
+    def test_explicit_distance_propagates_to_both(self):
+        from repro.harness.runner import make_spec
+
+        spec = make_spec("cell", software="stride", hardware="mt-hwp", distance=5)
+        assert spec.software.distance == 5
+        assert spec.distance == 5
+
+    def test_run_benchmark_applies_explicit_distance_one(self):
+        """Regression: distance=1 used to be silently ignored.
+
+        monte has real stride-delinquent loop loads, so its trace (and
+        stats) genuinely depend on the software distance — cell would
+        pass this vacuously (loop_iters=0, no stride insertion sites).
+        """
+        from repro.trace.swp import SoftwarePrefetchConfig
+
+        swp = SoftwarePrefetchConfig(stride=True, distance=6)
+        near = run_benchmark("monte", software=swp, distance=1, scale=0.1)
+        far = run_benchmark("monte", software=swp, scale=0.1)
+        default = run_benchmark(
+            "monte", software=SoftwarePrefetchConfig(stride=True, distance=1),
+            scale=0.1,
+        )
+        # distance=1 must behave exactly like a scheme built with distance 1,
+        # not like the untouched distance-6 scheme.
+        assert near.cycles > 0
+        assert near.stats.to_dict() == default.stats.to_dict()
+        assert near.stats.to_dict() != far.stats.to_dict()
+
+
+class TestTypedBenchmarkField:
+    def test_stats_carry_benchmark_name(self):
+        result = run_benchmark("cell", scale=0.05)
+        assert result.stats.benchmark == "cell"
+        assert result.stats.as_dict()["benchmark"] == "cell"
+        assert "benchmark" not in result.stats.extra
+
 
 class TestRunnerCaching:
     def test_cache_hit_returns_same_object(self):
@@ -77,7 +153,12 @@ class TestMeans:
     def test_geometric_mean(self):
         assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
         assert geometric_mean([]) == 0.0
-        assert geometric_mean([2.0, 0.0]) == 2.0  # nonpositive filtered
+
+    def test_geometric_mean_warns_on_dropped_nonpositive(self):
+        with pytest.warns(RuntimeWarning, match="non-positive"):
+            assert geometric_mean([2.0, 0.0]) == 2.0  # nonpositive filtered
+        with pytest.warns(RuntimeWarning, match="non-positive"):
+            assert geometric_mean([0.0, -1.0]) == 0.0
 
     def test_arithmetic_mean(self):
         assert arithmetic_mean([1.0, 3.0]) == 2.0

@@ -7,6 +7,13 @@ import pytest
 from repro.cli import main
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Keep CLI tests hermetic: the default persistent cache resolves
+    through $REPRO_CACHE_DIR, so point it at a per-test directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "default-cache"))
+
+
 def test_list_command(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
@@ -68,6 +75,28 @@ def test_figure_with_subset(capsys):
     assert main(["figure", "fig10", "--scale", "0.1", "--subset", "cell"]) == 0
     out = capsys.readouterr().out
     assert "cell" in out and "geomean" in out
+
+
+def test_cache_dir_and_jobs_flags(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    args = ["run", "cell", "--hardware", "mt-hwp", "--scale", "0.1",
+            "--cache-dir", str(cache)]
+    assert main(args + ["--jobs", "2"]) == 0
+    entries = sorted(cache.glob("v*/*/*.json"))
+    assert len(entries) == 2  # baseline + mt-hwp variant persisted
+    first_out = capsys.readouterr().out
+    # Warm re-run: pure cache hits, same output, no new entries.
+    assert main(args) == 0
+    assert capsys.readouterr().out == first_out
+    assert sorted(cache.glob("v*/*/*.json")) == entries
+
+
+def test_no_cache_flag_disables_persistence(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(["run", "cell", "--scale", "0.1", "--no-cache",
+                 "--cache-dir", str(cache)]) == 0
+    assert "speedup" in capsys.readouterr().out
+    assert not cache.exists()
 
 
 def test_invalid_benchmark_errors():
