@@ -10,7 +10,7 @@ Commands:
 * ``figure`` — regenerate one of the paper's exhibits (table3, table4,
   table6, fig7, fig8, fig10, ..., fig18) and print it.
 
-The simulating commands (``run``, ``compare``, ``figure``) share three
+The simulating commands (``run``, ``compare``, ``figure``) share the
 sweep flags:
 
 * ``--jobs N`` — simulate up to N grid points concurrently in worker
@@ -20,12 +20,24 @@ sweep flags:
   reused across invocations, so the shared no-prefetch baseline is
   simulated once per machine, ever.
 * ``--no-cache`` — disable the persistent cache for this invocation.
+* ``--timeout S`` — per-run wall-clock deadline for pooled runs; only
+  the run exceeding its own deadline fails.
+* ``--retries N`` — extra attempts for transiently-failed runs (crashed
+  worker, OS error); deterministic failures are never retried.
+* ``--max-failures N`` / ``--fail-fast`` — abort the sweep once N (or
+  one) runs have failed.
+* ``--manifest FILE`` — JSONL checkpoint journal; re-invoking with the
+  same manifest resumes an interrupted sweep.
+* ``--invariants`` — enable the simulation integrity checker
+  (equivalent to ``REPRO_INVARIANTS=1``) in this process and all sweep
+  workers.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -35,6 +47,7 @@ from repro.harness.runner import (
     HARDWARE_SCHEMES,
     ExperimentRunner,
 )
+from repro.sim.invariants import INVARIANTS_ENV
 from repro.trace.benchmarks import COMPUTE_BENCHMARKS, MEMORY_BENCHMARKS
 from repro.trace.swp import SCHEMES as SOFTWARE_SCHEMES
 
@@ -53,15 +66,48 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable the persistent result cache",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-run wall-clock deadline (seconds) for pooled runs",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="extra attempts for transiently-failed runs (default: 2)",
+    )
+    parser.add_argument(
+        "--max-failures", type=int, default=None, metavar="N",
+        help="abort the sweep after N failed runs (default: never)",
+    )
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the sweep at the first failed run",
+    )
+    parser.add_argument(
+        "--manifest", default=None, metavar="FILE",
+        help="JSONL checkpoint journal for resumable sweeps",
+    )
+    parser.add_argument(
+        "--invariants", action="store_true",
+        help="enable simulation invariant checking (REPRO_INVARIANTS=1) "
+             "in this process and all sweep workers",
+    )
 
 
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    if args.invariants:
+        # Exported (not passed) so forked/spawned sweep workers inherit it.
+        os.environ[INVARIANTS_ENV] = "1"
     return ExperimentRunner(
         scale=args.scale,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=False if args.no_cache else True,
         progress=sys.stderr.isatty(),
+        timeout=args.timeout,
+        retries=args.retries,
+        max_failures=args.max_failures,
+        fail_fast=args.fail_fast,
+        manifest=args.manifest,
     )
 
 

@@ -64,6 +64,31 @@ class ThrottleConfig:
     early_eviction_low: float = 0.15
     merge_high: float = 0.03
 
+    def __post_init__(self) -> None:
+        def _require(condition: bool, message: str) -> None:
+            if not condition:
+                raise ValueError(f"invalid throttle configuration: {message}")
+
+        _require(self.period >= 1, f"period must be >= 1 cycle, got {self.period}")
+        _require(
+            self.max_degree >= 1, f"max_degree must be >= 1, got {self.max_degree}"
+        )
+        _require(
+            0 <= self.initial_degree <= self.max_degree,
+            f"initial_degree must lie in 0..{self.max_degree} "
+            f"(0 = keep all prefetches, {self.max_degree} = drop all), "
+            f"got {self.initial_degree}",
+        )
+        _require(
+            0.0 <= self.early_eviction_low <= self.early_eviction_high,
+            f"early-eviction thresholds must satisfy 0 <= low <= high, got "
+            f"low={self.early_eviction_low} high={self.early_eviction_high}",
+        )
+        _require(
+            self.merge_high >= 0.0,
+            f"merge_high must be >= 0, got {self.merge_high}",
+        )
+
 
 @dataclass
 class ThrottleWindow:

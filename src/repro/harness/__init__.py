@@ -22,9 +22,11 @@ from repro.harness.sweep import (
     RunFailure,
     RunSpec,
     SweepEngine,
+    SweepManifest,
     build_result_cache,
     default_cache_dir,
     fingerprint,
+    is_transient_failure,
 )
 
 __all__ = [
@@ -36,10 +38,12 @@ __all__ = [
     "RunSpec",
     "SCHEMA_VERSION",
     "SweepEngine",
+    "SweepManifest",
     "build_result_cache",
     "default_cache_dir",
     "fingerprint",
     "geometric_mean",
+    "is_transient_failure",
     "make_spec",
     "run_benchmark",
     "run_spec",

@@ -134,8 +134,20 @@ def make_spec(
     The normalization is canonical: two argument sets that would produce
     the same simulation produce the same spec, and therefore the same
     cache fingerprint.  Unknown software/hardware scheme names raise
-    ``KeyError`` here, before anything is simulated or cached.
+    ``KeyError``, and nonsensical aggressiveness/scale values raise
+    ``ValueError`` — here, before anything is simulated or cached.
     """
+    if distance is not None and distance < 1:
+        raise ValueError(
+            f"prefetch distance must be >= 1 (or None for the scheme "
+            f"default), got {distance}"
+        )
+    if degree < 1:
+        raise ValueError(f"prefetch degree must be >= 1, got {degree}")
+    if not scale > 0:
+        raise ValueError(
+            f"scale must be a positive grid-scale factor, got {scale}"
+        )
     swp, hw_distance = _normalize_scheme_args(software, hardware, distance)
     return RunSpec(
         benchmark=benchmark,
@@ -159,6 +171,7 @@ def _simulate(
     cfg: GpuConfig,
     throttle: bool,
     perfect_memory: bool,
+    strict: bool = False,
 ) -> SimulationResult:
     """The single execution path behind every run (serial, pooled, cached)."""
     if perfect_memory:
@@ -171,23 +184,26 @@ def _simulate(
     workload = generate_workload(kernel, swp=swp)
     sim = GpuSimulator(cfg, factory)
     sim.load_workload(workload.blocks, workload.max_blocks_per_core)
-    result = sim.run()
+    result = sim.run(strict=strict)
     result.stats.benchmark = kernel.name
     return result
 
 
-def run_spec(spec: RunSpec) -> SimulationResult:
+def run_spec(spec: RunSpec, strict: bool = True) -> SimulationResult:
     """Execute one fully-normalized :class:`RunSpec`.
 
     This is the sweep-engine worker entry point; no further defaulting
     happens here, so a spec simulates identically no matter which process
-    runs it.
+    runs it.  Harness runs are *strict* by default: a run that exhausts
+    ``max_cycles`` raises :class:`~repro.sim.errors.CycleLimitExceeded`
+    instead of returning partial statistics, so a truncated simulation
+    can never be cached or averaged into a figure as if it completed.
     """
     kernel = get_benchmark(spec.benchmark, scale=spec.scale)
     builder = HARDWARE_SCHEMES[spec.hardware]
     return _simulate(
         kernel, spec.software, builder, spec.distance, spec.degree,
-        spec.config, spec.throttle, spec.perfect_memory,
+        spec.config, spec.throttle, spec.perfect_memory, strict=strict,
     )
 
 
@@ -223,7 +239,7 @@ def run_benchmark(
         swp, hw_distance = _normalize_scheme_args(software, hardware, distance)
         return _simulate(
             benchmark, swp, HARDWARE_SCHEMES[hardware], hw_distance, degree,
-            config or baseline_config(), throttle, perfect_memory,
+            config or baseline_config(), throttle, perfect_memory, strict=True,
         )
     return run_spec(make_spec(
         benchmark, software=software, hardware=hardware, throttle=throttle,
@@ -251,7 +267,19 @@ class ExperimentRunner:
             ``cache_dir`` is unset), ``False`` forces it off, ``None``
             (default) enables it only when a directory was named.
         progress: Emit a progress/ETA line to stderr during sweeps.
-        timeout: Stall timeout in seconds for parallel sweeps.
+        timeout: **Per-run** deadline in seconds for pooled sweeps; only a
+            run exceeding its own deadline fails.
+        retries: Extra attempts for transiently-failed runs (crashed
+            worker, ``OSError``); deterministic simulation failures are
+            never retried.
+        max_failures: Abort a sweep once this many runs have failed;
+            remaining runs are recorded as ``aborted`` failures.
+        fail_fast: Shorthand for ``max_failures=1``.
+        manifest: Path to a JSONL checkpoint journal; an interrupted
+            sweep re-invoked with the same manifest resumes from partial
+            progress.
+        failure_report_dir: When set, each failed run writes a
+            diagnostic JSON report under this directory.
     """
 
     def __init__(
@@ -263,14 +291,25 @@ class ExperimentRunner:
         use_cache: Optional[bool] = None,
         progress: bool = False,
         timeout: Optional[float] = None,
+        retries: int = 2,
+        max_failures: Optional[int] = None,
+        fail_fast: bool = False,
+        manifest: Union[str, Path, None] = None,
+        failure_report_dir: Union[str, Path, None] = None,
     ) -> None:
         self.config = config or baseline_config()
         self.scale = scale
+        if fail_fast:
+            max_failures = 1 if max_failures is None else min(1, max_failures)
         self.engine = SweepEngine(
             cache=build_result_cache(cache_dir, use_cache),
             jobs=jobs,
             timeout=timeout,
             progress=ProgressReporter(enabled=progress),
+            retries=retries,
+            max_failures=max_failures,
+            manifest=manifest,
+            failure_report_dir=failure_report_dir,
         )
         self._cache: Dict[str, SimulationResult] = {}
 

@@ -1,4 +1,4 @@
-"""Parallel sweep engine with a persistent on-disk result cache.
+"""Parallel sweep engine with a persistent result cache and fault tolerance.
 
 Every simulation in this reproduction is a pure function of its parameter
 tuple — the trace generator is deterministic and the simulator has no
@@ -9,8 +9,8 @@ exploits both:
   aggressiveness grid can fan out over a process pool
   (:class:`SweepEngine`), with deterministic result ordering (outputs are
   returned in input order regardless of completion order) and worker-level
-  fault isolation (a crashed or stalled run records a structured
-  :class:`RunFailure` instead of killing the sweep).
+  fault isolation (a crashed, truncated, or stalled run records a
+  structured :class:`RunFailure` instead of killing the sweep).
 
 * **Machine-wide memoization.**  A completed run's statistics can be
   persisted on disk (:class:`ResultCache`) keyed by a stable fingerprint
@@ -19,6 +19,27 @@ exploits both:
   — plus a schema version.  Any process that later needs the same run
   (above all the shared no-prefetching baseline every figure normalizes
   against) loads it instead of re-simulating.
+
+Fault-tolerance model (the integrity layer of the harness):
+
+* **Per-run deadlines.**  ``timeout`` bounds each pooled run's own wall
+  clock.  Only the run that exceeds its deadline is recorded as a
+  ``timeout`` failure; every other run proceeds.  A hung worker's slot is
+  written off, and when every slot is hung the pool is replaced.
+* **Bounded retry with exponential backoff** — but only for *transient*
+  failures (a crashed worker process, ``OSError``).  Deterministic
+  failures (:class:`~repro.sim.errors.SimulationError` subclasses such as
+  invariant violations or cycle-limit truncation, and ordinary
+  exceptions) would fail identically on every attempt and are never
+  retried.
+* **Checkpointed manifests.**  With a :class:`SweepManifest` attached,
+  every completed run is journaled (append-only JSONL); an interrupted
+  sweep re-invoked with the same manifest resumes from partial progress
+  even without a result cache.
+* **Failure budgets.**  ``max_failures`` aborts the sweep once too many
+  runs fail (``fail_fast`` is the 1-failure special case); unexecuted
+  runs are recorded as ``aborted`` failures, so callers always receive
+  one outcome per input spec.
 
 Cache invalidation contract: :data:`SCHEMA_VERSION` must be bumped
 whenever a change alters simulation semantics (timing model, prefetcher
@@ -41,12 +62,33 @@ import os
 import sys
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, TextIO, Union
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Tuple,
+    Union,
+)
 
 from repro.sim.config import GpuConfig
+from repro.sim.errors import (
+    FAILURE_REPORT_SCHEMA,
+    SimulationError,
+    write_failure_report,
+)
 from repro.sim.gpu import SimulationResult
 from repro.sim.stats import SimStats
 from repro.trace.swp import SoftwarePrefetchConfig
@@ -55,10 +97,27 @@ from repro.trace.swp import SoftwarePrefetchConfig
 #: simulator timing, prefetcher algorithms, trace generation, or the
 #: :class:`SimStats` field set.  Old cache entries live under a versioned
 #: subdirectory and are simply never read again after a bump.
-SCHEMA_VERSION = 1
+#:
+#: v2: ``SimStats`` gained the ``truncated`` field (simulation integrity
+#: layer); v1 entries cannot state whether they were truncated.
+SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default machine-wide cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Exception types treated as transient (retryable) worker failures: the
+#: pool infrastructure died (:class:`BrokenExecutor` covers a killed or
+#: crashed worker process) or the OS briefly misbehaved.  Deterministic
+#: simulation failures are explicitly excluded — retrying them reproduces
+#: the identical failure at full simulation cost.
+TRANSIENT_EXCEPTIONS = (BrokenExecutor, OSError, EOFError, ConnectionError)
+
+
+def is_transient_failure(exc: BaseException) -> bool:
+    """True when retrying ``exc``'s run could plausibly succeed."""
+    if isinstance(exc, SimulationError):
+        return False
+    return isinstance(exc, TRANSIENT_EXCEPTIONS)
 
 
 @dataclass(frozen=True)
@@ -85,21 +144,47 @@ class RunSpec:
 
 @dataclass
 class RunFailure:
-    """Structured record of one run that crashed or timed out.
+    """Structured record of one run that crashed, stalled, or truncated.
 
     Sweeps never die because one grid point did: the failure is returned
     in the run's output slot and the remaining runs proceed.  ``exception``
     carries the original exception object when one is available (both the
     inline path and the pool path preserve it), so strict callers can
-    re-raise it.
+    re-raise it.  ``kind`` is the failure taxonomy tag: ``"exception"``,
+    ``"timeout"``, ``"truncated"``, ``"invariant"``, ``"deadlock"``, or
+    ``"aborted"``.  ``report`` holds the diagnostic snapshot payload when
+    the failure was a :class:`~repro.sim.errors.SimulationError`.
     """
 
     spec: RunSpec
     key: str
-    kind: str  #: ``"exception"`` or ``"timeout"``
+    kind: str
     error: str
     traceback: str = ""
     exception: Optional[BaseException] = None
+    attempts: int = 1
+    report: Optional[Dict] = None
+
+    def to_report(self) -> Dict:
+        """Serialize into a failure-report payload (plain JSON types)."""
+        payload: Dict = {
+            "schema": FAILURE_REPORT_SCHEMA,
+            "kind": self.kind,
+            "error": self.error,
+            "key": self.key,
+            "benchmark": self.spec.benchmark,
+            "attempts": self.attempts,
+            "spec": dataclasses.asdict(self.spec),
+        }
+        if self.traceback:
+            payload["traceback"] = self.traceback
+        if self.report is not None:
+            payload["diagnostic"] = self.report
+        return payload
+
+    def write_report(self, path: Union[str, Path]) -> Path:
+        """Write this failure as a JSON report file; returns the path."""
+        return write_failure_report(path, self.to_report())
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         return f"RunFailure({self.spec.benchmark}, {self.kind}: {self.error})"
@@ -146,8 +231,10 @@ class ResultCache:
     per result holding the spec (for auditability) and the raw stats
     counters.  Writes are atomic (temp file + ``os.replace``) so
     concurrent sweep workers and concurrent sweeps can share a directory;
-    corrupt or unreadable entries are treated as misses.  I/O errors
+    corrupt or unreadable entries — truncated JSON, schema mismatches,
+    torn files from a crashed writer — are treated as misses.  I/O errors
     degrade gracefully: a cache that cannot write simply stops caching.
+    Truncated results are never stored.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
@@ -171,7 +258,7 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, ValueError, KeyError, TypeError):
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
             # Corrupt / foreign entry: ignore it (a later put overwrites).
             self.errors += 1
             self.misses += 1
@@ -180,6 +267,10 @@ class ResultCache:
         return stats
 
     def put(self, key: str, spec: RunSpec, stats: SimStats) -> None:
+        if stats.truncated:
+            # A truncated run is not a result; caching it would let a
+            # partial simulation masquerade as a completed one forever.
+            return
         path = self.path_for(key)
         payload = {
             "schema": SCHEMA_VERSION,
@@ -224,6 +315,86 @@ def build_result_cache(
         return ResultCache(default_cache_dir())
     env = os.environ.get(CACHE_DIR_ENV)
     return ResultCache(env) if env else None
+
+
+# ----------------------------------------------------------------------
+# Checkpointed sweep manifest
+# ----------------------------------------------------------------------
+
+
+class SweepManifest:
+    """Append-only JSONL journal of per-spec sweep outcomes.
+
+    One line per completed attempt: ``{"schema": ..., "key": ...,
+    "status": "done"|"failed", ...}``.  Appending a whole line per event
+    makes the journal crash-safe — a torn final line (the interrupted
+    write) is skipped on load, and everything before it is intact.  On
+    resume, ``done`` entries are replayed as instant results; ``failed``
+    entries are re-attempted (which gives cross-invocation retry
+    semantics for transient infrastructure failures).
+
+    Records from a different :data:`SCHEMA_VERSION` are ignored: a
+    simulator-semantics change makes old results unusable, exactly as
+    with the result cache.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def load(self) -> Dict[str, Dict]:
+        """Latest valid record per key; empty when the journal is absent."""
+        entries: Dict[str, Dict] = {}
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            return entries
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn/corrupt line from an interrupted write
+            if not isinstance(record, dict):
+                continue
+            if record.get("schema") != SCHEMA_VERSION:
+                continue
+            key = record.get("key")
+            if isinstance(key, str):
+                entries[key] = record
+        return entries
+
+    def _append(self, record: Dict) -> None:
+        record = {"schema": SCHEMA_VERSION, **record}
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:
+            pass  # journaling is best-effort, like the result cache
+
+    def record_success(self, key: str, spec: RunSpec, stats: SimStats) -> None:
+        self._append(
+            {
+                "key": key,
+                "status": "done",
+                "benchmark": spec.benchmark,
+                "stats": stats.to_dict(),
+            }
+        )
+
+    def record_failure(self, failure: RunFailure) -> None:
+        self._append(
+            {
+                "key": failure.key,
+                "status": "failed",
+                "benchmark": failure.spec.benchmark,
+                "kind": failure.kind,
+                "error": failure.error,
+                "attempts": failure.attempts,
+            }
+        )
 
 
 # ----------------------------------------------------------------------
@@ -299,11 +470,24 @@ def _sweep_worker(spec: RunSpec) -> SimStats:
 
     Imported lazily so ``runner`` -> ``sweep`` stays a one-way module
     dependency.  Only the stats travel back over the pipe; the simulator
-    object graph (cores, DRAM) stays in the worker.
+    object graph (cores, DRAM) stays in the worker.  Structured
+    simulation failures (deadlock, truncation, invariant violations)
+    pickle losslessly, diagnostic snapshot included.
     """
     from repro.harness.runner import run_spec
 
     return run_spec(spec).stats
+
+
+@dataclass
+class _PendingRun:
+    """Book-keeping for one spec attempt inside the pool scheduler."""
+
+    key: str
+    spec: RunSpec
+    attempt: int = 0
+    deadline: Optional[float] = None
+    not_before: float = 0.0  # backoff gate for retries
 
 
 # ----------------------------------------------------------------------
@@ -316,16 +500,37 @@ class SweepEngine:
 
     * Duplicate specs are simulated once and share one result object.
     * With a cache attached, previously-completed runs (from any process,
-      ever) are loaded instead of simulated.
+      ever) are loaded instead of simulated; with a manifest attached,
+      runs journaled by an interrupted sweep are replayed the same way.
     * ``jobs <= 1`` — or a single miss — runs inline in this process (no
       pool overhead, full :class:`SimulationResult` with live core/DRAM
       handles); ``jobs >= 2`` uses a process pool and reconstructs
       stats-only results.
     * Results are returned in input order, one outcome per input spec,
       each either a :class:`SimulationResult` or a :class:`RunFailure`.
-    * ``timeout`` is a stall timeout for the pool path: if no run
-      completes for ``timeout`` seconds, every still-running spec is
-      recorded as a timeout failure and the sweep returns.
+
+    Args:
+        cache: Persistent result cache, or ``None``.
+        jobs: Worker processes (1 = inline).
+        timeout: **Per-run** wall-clock deadline in seconds for pooled
+            runs.  A run exceeding it is recorded as a ``timeout``
+            failure; other runs are unaffected.  Inline runs cannot be
+            preempted and ignore it.
+        progress: Progress/ETA reporter.
+        worker: Run-execution callable (overridable for testing and
+            fault injection).
+        retries: Maximum *additional* attempts for a transiently-failed
+            run (crashed worker, ``OSError``).  Deterministic failures
+            are never retried.
+        retry_backoff: Base backoff in seconds; attempt ``n`` waits
+            ``retry_backoff * 2**(n-1)`` before re-dispatch.
+        max_failures: Abort the sweep once this many runs have failed;
+            remaining runs are recorded as ``aborted``.  ``None`` means
+            never abort.
+        manifest: Checkpoint journal (path or :class:`SweepManifest`)
+            for resumable sweeps.
+        failure_report_dir: When set, every failure writes a diagnostic
+            JSON report to ``<dir>/<key>.json``.
     """
 
     def __init__(
@@ -335,17 +540,34 @@ class SweepEngine:
         timeout: Optional[float] = None,
         progress: Optional[ProgressReporter] = None,
         worker: Callable[[RunSpec], SimStats] = _sweep_worker,
+        retries: int = 2,
+        retry_backoff: float = 0.5,
+        max_failures: Optional[int] = None,
+        manifest: Union[SweepManifest, str, Path, None] = None,
+        failure_report_dir: Union[str, Path, None] = None,
     ) -> None:
         self.cache = cache
         self.jobs = max(1, int(jobs))
         self.timeout = timeout
         self.progress = progress or ProgressReporter(enabled=False)
         self.worker = worker
+        self.retries = max(0, int(retries))
+        self.retry_backoff = max(0.0, float(retry_backoff))
+        self.max_failures = max_failures
+        if manifest is not None and not isinstance(manifest, SweepManifest):
+            manifest = SweepManifest(manifest)
+        self.manifest = manifest
+        self.failure_report_dir = (
+            Path(failure_report_dir) if failure_report_dir is not None else None
+        )
         # Cumulative counters, exposed so callers (and the acceptance
         # tests) can verify e.g. that a warm re-run simulated nothing.
         self.simulated = 0
         self.cache_hits = 0
+        self.manifest_hits = 0
         self.failures = 0
+        self.retried = 0
+        self._sweep_failures = 0  # per-run() failure count for max_failures
 
     # ------------------------------------------------------------------
 
@@ -362,9 +584,26 @@ class SweepEngine:
                 if stats is not None:
                     outcomes[key] = SimulationResult(stats)
                     self.cache_hits += 1
+        if self.manifest is not None:
+            journal = self.manifest.load()
+            for key, spec in unique.items():
+                if key in outcomes:
+                    continue
+                record = journal.get(key)
+                if record is None or record.get("status") != "done":
+                    continue
+                try:
+                    stats = SimStats.from_dict(record["stats"])
+                except (KeyError, TypeError):
+                    continue
+                outcomes[key] = SimulationResult(stats)
+                self.manifest_hits += 1
+                if self.cache is not None:
+                    self.cache.put(key, spec, stats)
 
         misses = [(k, s) for k, s in unique.items() if k not in outcomes]
-        self.progress.start(len(unique), cached=len(outcomes))
+        self._sweep_failures = 0
+        self.progress.start(len(unique), cached=len(unique) - len(misses))
         if misses:
             if self.jobs <= 1 or len(misses) == 1:
                 self._run_inline(misses, outcomes)
@@ -375,35 +614,88 @@ class SweepEngine:
 
     # ------------------------------------------------------------------
 
+    def _aborted(self) -> bool:
+        return (
+            self.max_failures is not None
+            and self._sweep_failures >= self.max_failures
+        )
+
     def _record_success(
         self, key: str, spec: RunSpec, result: SimulationResult,
-        outcomes: Dict[str, Outcome],
+        outcomes: Dict[str, Outcome], attempts: int = 1,
     ) -> None:
+        if result.stats.truncated:
+            # A truncated run must never look like a normal result.
+            self._record_failure(
+                key, spec, "truncated", None, outcomes,
+                message=(
+                    f"run truncated at max_cycles="
+                    f"{spec.config.max_cycles} before completing"
+                ),
+                attempts=attempts,
+            )
+            return
         outcomes[key] = result
         self.simulated += 1
         if self.cache is not None:
             self.cache.put(key, spec, result.stats)
+        if self.manifest is not None:
+            self.manifest.record_success(key, spec, result.stats)
         self.progress.step()
 
     def _record_failure(
         self, key: str, spec: RunSpec, kind: str, exc: Optional[BaseException],
         outcomes: Dict[str, Outcome], message: Optional[str] = None,
+        attempts: int = 1,
     ) -> None:
         tb = ""
+        report = None
         if exc is not None:
             tb = "".join(
                 traceback.format_exception(type(exc), exc, exc.__traceback__)
             )
-        outcomes[key] = RunFailure(
+            if isinstance(exc, SimulationError):
+                kind = exc.kind
+                report = exc.to_report()
+        failure = RunFailure(
             spec=spec,
             key=key,
             kind=kind,
             error=message if message is not None else f"{type(exc).__name__}: {exc}",
             traceback=tb,
             exception=exc,
+            attempts=attempts,
+            report=report,
         )
+        outcomes[key] = failure
         self.failures += 1
+        self._sweep_failures += 1
+        if self.manifest is not None:
+            self.manifest.record_failure(failure)
+        if self.failure_report_dir is not None:
+            try:
+                failure.write_report(self.failure_report_dir / f"{key}.json")
+            except OSError:
+                pass
         self.progress.step(failed=True)
+
+    def _record_aborted(
+        self, items: Sequence[Tuple[str, RunSpec]], outcomes: Dict[str, Outcome]
+    ) -> None:
+        for key, spec in items:
+            if key in outcomes:
+                continue
+            outcomes[key] = RunFailure(
+                spec=spec,
+                key=key,
+                kind="aborted",
+                error=(
+                    f"sweep aborted after {self._sweep_failures} failure(s) "
+                    f"(max_failures={self.max_failures}); run not executed"
+                ),
+            )
+            self.failures += 1
+            self.progress.step(failed=True)
 
     # ------------------------------------------------------------------
 
@@ -412,59 +704,183 @@ class SweepEngine:
     ) -> None:
         from repro.harness.runner import run_spec
 
-        for key, spec in misses:
-            try:
-                if self.worker is _sweep_worker:
-                    # Inline default path: keep the full result object
-                    # (live cores/DRAM handles) instead of stats only.
-                    result = run_spec(spec)
+        for index, (key, spec) in enumerate(misses):
+            if self._aborted():
+                self._record_aborted(misses[index:], outcomes)
+                return
+            attempt = 0
+            while True:
+                try:
+                    if self.worker is _sweep_worker:
+                        # Inline default path: keep the full result object
+                        # (live cores/DRAM handles) instead of stats only.
+                        result = run_spec(spec)
+                    else:
+                        result = SimulationResult(self.worker(spec))
+                except Exception as exc:  # noqa: BLE001 - fault isolation
+                    if is_transient_failure(exc) and attempt < self.retries:
+                        attempt += 1
+                        self.retried += 1
+                        if self.retry_backoff:
+                            time.sleep(self.retry_backoff * 2 ** (attempt - 1))
+                        continue
+                    self._record_failure(
+                        key, spec, "exception", exc, outcomes,
+                        attempts=attempt + 1,
+                    )
                 else:
-                    result = SimulationResult(self.worker(spec))
-            except Exception as exc:  # noqa: BLE001 - fault isolation
-                self._record_failure(key, spec, "exception", exc, outcomes)
-            else:
-                self._record_success(key, spec, result, outcomes)
+                    self._record_success(
+                        key, spec, result, outcomes, attempts=attempt + 1
+                    )
+                break
+
+    # ------------------------------------------------------------------
 
     def _run_pool(
         self, misses: Sequence, outcomes: Dict[str, Outcome]
     ) -> None:
-        executor = ProcessPoolExecutor(max_workers=min(self.jobs, len(misses)))
-        timed_out = False
+        """Pooled execution with per-run deadlines and bounded retries.
+
+        A hung run only costs its own slot: its future is abandoned at
+        the deadline and the slot written off.  When every slot of the
+        current executor is written off (or the pool breaks), a fresh
+        executor takes over the remaining work.  All executors are shut
+        down without waiting at the end, so orphaned workers die on
+        their own without stalling the sweep.
+        """
+        max_workers = min(self.jobs, len(misses))
+        executors: List[ProcessPoolExecutor] = []
+        executor: Optional[ProcessPoolExecutor] = None
+        lost_slots = 0
+
+        def fresh_executor() -> ProcessPoolExecutor:
+            nonlocal lost_slots
+            ex = ProcessPoolExecutor(max_workers=max_workers)
+            executors.append(ex)
+            lost_slots = 0
+            return ex
+
+        executor = fresh_executor()
+        work: deque = deque(_PendingRun(key, spec) for key, spec in misses)
+        running: Dict[Future, _PendingRun] = {}
+
+        def submit(run: _PendingRun) -> None:
+            nonlocal executor
+            try:
+                future = executor.submit(self.worker, run.spec)
+            except (BrokenExecutor, RuntimeError):
+                executor = fresh_executor()
+                future = executor.submit(self.worker, run.spec)
+            run.deadline = (
+                time.monotonic() + self.timeout if self.timeout else None
+            )
+            running[future] = run
+
         try:
-            futures = {
-                executor.submit(self.worker, spec): (key, spec)
-                for key, spec in misses
-            }
-            pending = set(futures)
-            while pending:
-                done, pending = wait(
-                    pending, timeout=self.timeout, return_when=FIRST_COMPLETED
-                )
-                if not done:
-                    # Stall: nothing completed within the timeout window.
-                    timed_out = True
-                    for fut in pending:
-                        fut.cancel()
-                        key, spec = futures[fut]
-                        self._record_failure(
-                            key, spec, "timeout", None, outcomes,
-                            message=(
-                                f"no completion within {self.timeout}s;"
-                                " run abandoned"
-                            ),
-                        )
+            while work or running:
+                if self._aborted():
+                    for future in running:
+                        future.cancel()
+                    self._record_aborted(
+                        [(r.key, r.spec) for r in list(running.values()) + list(work)],
+                        outcomes,
+                    )
                     break
-                for fut in done:
-                    key, spec = futures[fut]
+                now = time.monotonic()
+                # Dispatch work whose backoff gate has passed, up to the
+                # live capacity of the current executor.
+                capacity = max(0, max_workers - lost_slots)
+                deferred: List[_PendingRun] = []
+                while work and len(running) < capacity:
+                    run = work.popleft()
+                    if run.not_before > now:
+                        deferred.append(run)
+                        continue
+                    submit(run)
+                work.extendleft(reversed(deferred))
+                if not running:
+                    if any(r.not_before > now for r in work):
+                        time.sleep(
+                            max(0.0, min(r.not_before for r in work) - now)
+                        )
+                        continue
+                    if work and capacity == 0:
+                        executor = fresh_executor()
+                        continue
+                    if not work:
+                        break
+                    continue
+                # Wait for a completion, the earliest deadline, or the
+                # earliest retry gate — whichever comes first.
+                wait_bounds = [
+                    run.deadline - now
+                    for run in running.values()
+                    if run.deadline is not None
+                ]
+                wait_bounds.extend(
+                    run.not_before - now for run in work if run.not_before > now
+                )
+                pool_timeout = (
+                    max(0.005, min(wait_bounds)) if wait_bounds else None
+                )
+                done, _ = wait(
+                    set(running), timeout=pool_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                now = time.monotonic()
+                for future in done:
+                    run = running.pop(future)
                     try:
-                        stats = fut.result()
+                        stats = future.result()
                     except Exception as exc:  # noqa: BLE001 - fault isolation
-                        self._record_failure(key, spec, "exception", exc, outcomes)
+                        if is_transient_failure(exc) and run.attempt < self.retries:
+                            run.attempt += 1
+                            self.retried += 1
+                            run.not_before = now + (
+                                self.retry_backoff * 2 ** (run.attempt - 1)
+                            )
+                            work.append(run)
+                        else:
+                            self._record_failure(
+                                run.key, run.spec, "exception", exc, outcomes,
+                                attempts=run.attempt + 1,
+                            )
                     else:
                         self._record_success(
-                            key, spec, SimulationResult(stats), outcomes
+                            run.key, run.spec, SimulationResult(stats),
+                            outcomes, attempts=run.attempt + 1,
                         )
+                # Enforce per-run deadlines: only the overdue run fails.
+                overdue = [
+                    future
+                    for future, run in running.items()
+                    if run.deadline is not None and now >= run.deadline
+                ]
+                for future in overdue:
+                    run = running.pop(future)
+                    if not future.cancel():
+                        # Already executing in a worker we cannot reclaim:
+                        # write the slot off.
+                        lost_slots += 1
+                    self._record_failure(
+                        run.key, run.spec, "timeout", None, outcomes,
+                        message=(
+                            f"run exceeded its {self.timeout}s deadline; "
+                            "abandoned (worker slot written off)"
+                        ),
+                        attempts=run.attempt + 1,
+                    )
+                if lost_slots >= max_workers and (work or running):
+                    # Every slot is hung: move still-queued futures back to
+                    # the work list and start over on a fresh pool.
+                    for future, run in list(running.items()):
+                        if future.cancel():
+                            running.pop(future)
+                            work.append(run)
+                    if not running:
+                        executor = fresh_executor()
         finally:
-            # After a stall, don't block on the hung workers; orphaned
-            # runs finish (or die) on their own without affecting us.
-            executor.shutdown(wait=not timed_out, cancel_futures=timed_out)
+            for ex in executors:
+                # Never block on hung workers; orphaned runs finish (or
+                # die) on their own without affecting us.
+                ex.shutdown(wait=False, cancel_futures=True)

@@ -16,17 +16,34 @@ from repro.sim.config import (
     PrefetchCacheConfig,
     baseline_config,
 )
+from repro.sim.errors import (
+    CycleLimitExceeded,
+    DeadlockError,
+    InvariantViolation,
+    SimulationError,
+    load_failure_report,
+    write_failure_report,
+)
 from repro.sim.gpu import GpuSimulator, SimulationResult
+from repro.sim.invariants import InvariantChecker, invariants_enabled_from_env
 from repro.sim.stats import SimStats
 
 __all__ = [
     "CoreConfig",
+    "CycleLimitExceeded",
+    "DeadlockError",
     "DramConfig",
     "GpuConfig",
     "GpuSimulator",
     "InterconnectConfig",
+    "InvariantChecker",
+    "InvariantViolation",
     "PrefetchCacheConfig",
     "SimStats",
+    "SimulationError",
     "SimulationResult",
     "baseline_config",
+    "invariants_enabled_from_env",
+    "load_failure_report",
+    "write_failure_report",
 ]

@@ -143,6 +143,19 @@ class PrefetchCache:
             self.window_early_evictions += 1
             self.total_early_evictions += 1
 
+    def resident_unused_count(self) -> int:
+        """Lines currently cached that no demand access has touched yet.
+
+        Closes the invariant checker's prefetch-outcome ledger: every fill
+        ends up useful, early-evicted, or still resident and unused.
+        """
+        return sum(
+            1
+            for cache_set in self._cache._sets
+            for line in cache_set.values()
+            if not line.used
+        )
+
     def snapshot_and_reset_window(self) -> Dict[str, int]:
         """Return and clear the current throttle-window counters."""
         snap = {

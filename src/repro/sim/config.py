@@ -16,6 +16,20 @@ import dataclasses
 from dataclasses import dataclass, field
 
 
+def _require(condition: bool, message: str) -> None:
+    """Config-validation assertion with an actionable error message.
+
+    All configuration dataclasses validate in ``__post_init__`` so a
+    nonsensical machine description fails at construction time with a
+    message naming the field and the accepted range — not thousands of
+    cycles into a simulation (or worse, silently, as skewed results).
+    ``dataclasses.replace`` re-runs ``__post_init__``, so derived configs
+    are validated too.
+    """
+    if not condition:
+        raise ValueError(f"invalid simulator configuration: {message}")
+
+
 @dataclass(frozen=True)
 class CoreConfig:
     """Per-core (SM) parameters.
@@ -51,6 +65,41 @@ class CoreConfig:
     registers_per_core: int = 8192
     shared_memory_bytes: int = 16 * 1024
 
+    def __post_init__(self) -> None:
+        _require(self.simd_width >= 1, f"simd_width must be >= 1, got {self.simd_width}")
+        _require(self.warp_size >= 1, f"warp_size must be >= 1, got {self.warp_size}")
+        for name in ("issue_cycles_default", "issue_cycles_imul", "issue_cycles_fdiv"):
+            _require(
+                getattr(self, name) >= 1,
+                f"{name} must be >= 1, got {getattr(self, name)}",
+            )
+        _require(
+            self.decode_cycles >= 0,
+            f"decode_cycles must be >= 0, got {self.decode_cycles}",
+        )
+        _require(
+            self.scheduler in ("rr", "oldest"),
+            f"scheduler must be 'rr' or 'oldest', got {self.scheduler!r}",
+        )
+        _require(self.mrq_size >= 1, f"mrq_size must be >= 1, got {self.mrq_size}")
+        _require(
+            self.max_blocks_limit >= 1,
+            f"max_blocks_limit must be >= 1, got {self.max_blocks_limit}",
+        )
+        _require(
+            self.max_threads_per_core >= self.warp_size,
+            f"max_threads_per_core must fit at least one warp "
+            f"({self.warp_size} threads), got {self.max_threads_per_core}",
+        )
+        _require(
+            self.registers_per_core >= 1,
+            f"registers_per_core must be >= 1, got {self.registers_per_core}",
+        )
+        _require(
+            self.shared_memory_bytes >= 0,
+            f"shared_memory_bytes must be >= 0, got {self.shared_memory_bytes}",
+        )
+
 
 @dataclass(frozen=True)
 class PrefetchCacheConfig:
@@ -59,6 +108,18 @@ class PrefetchCacheConfig:
     size_bytes: int = 16 * 1024
     associativity: int = 8
     line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        _require(
+            self.size_bytes >= 1, f"cache size_bytes must be >= 1, got {self.size_bytes}"
+        )
+        _require(
+            self.associativity >= 1,
+            f"cache associativity must be >= 1, got {self.associativity}",
+        )
+        _require(
+            self.line_bytes >= 1, f"cache line_bytes must be >= 1, got {self.line_bytes}"
+        )
 
     @property
     def num_sets(self) -> int:
@@ -78,6 +139,17 @@ class InterconnectConfig:
 
     latency: int = 20
     cores_per_injection_slot: int = 2
+
+    def __post_init__(self) -> None:
+        _require(
+            self.latency >= 1,
+            f"interconnect latency must be >= 1 cycle, got {self.latency}",
+        )
+        _require(
+            self.cores_per_injection_slot >= 1,
+            f"cores_per_injection_slot must be >= 1, "
+            f"got {self.cores_per_injection_slot}",
+        )
 
 
 @dataclass(frozen=True)
@@ -118,6 +190,50 @@ class DramConfig:
     l2_associativity: int = 8
     l2_latency: int = 40
 
+    def __post_init__(self) -> None:
+        _require(
+            self.num_channels >= 1,
+            f"DRAM num_channels must be >= 1, got {self.num_channels}",
+        )
+        _require(
+            self.banks_per_channel >= 1,
+            f"DRAM banks_per_channel must be >= 1, got {self.banks_per_channel}",
+        )
+        _require(
+            self.line_bytes >= 1, f"DRAM line_bytes must be >= 1, got {self.line_bytes}"
+        )
+        _require(
+            self.row_bytes >= self.line_bytes,
+            f"DRAM row_bytes ({self.row_bytes}) must hold at least one "
+            f"line ({self.line_bytes} bytes)",
+        )
+        for name in ("t_cl", "t_rcd", "t_rp", "pipeline_latency"):
+            _require(
+                getattr(self, name) >= 0,
+                f"DRAM {name} must be >= 0, got {getattr(self, name)}",
+            )
+        _require(
+            self.burst_cycles >= 1,
+            f"DRAM burst_cycles must be >= 1, got {self.burst_cycles}",
+        )
+        _require(
+            self.request_buffer_size >= 1,
+            f"DRAM request_buffer_size must be >= 1, got {self.request_buffer_size}",
+        )
+        _require(
+            self.l2_size_bytes >= 0,
+            f"l2_size_bytes must be >= 0 (0 disables the L2), "
+            f"got {self.l2_size_bytes}",
+        )
+        if self.l2_size_bytes:
+            _require(
+                self.l2_associativity >= 1,
+                f"l2_associativity must be >= 1, got {self.l2_associativity}",
+            )
+            _require(
+                self.l2_latency >= 0, f"l2_latency must be >= 0, got {self.l2_latency}"
+            )
+
     @staticmethod
     def from_memory_clock(
         t_cl_mem: int = 11,
@@ -157,6 +273,29 @@ class GpuConfig:
     perfect_memory: bool = False
     perfect_memory_latency: int = 1
     max_cycles: int = 20_000_000
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject nonsensical machine descriptions with actionable errors.
+
+        Nested component configs validate themselves at construction;
+        this method re-checks them (for callers that bypass
+        ``__post_init__`` via ``object.__setattr__`` tricks) and adds the
+        top-level constraints.
+        """
+        _require(self.num_cores >= 1, f"num_cores must be >= 1, got {self.num_cores}")
+        _require(self.max_cycles >= 1, f"max_cycles must be >= 1, got {self.max_cycles}")
+        _require(
+            self.perfect_memory_latency >= 0,
+            f"perfect_memory_latency must be >= 0, got {self.perfect_memory_latency}",
+        )
+        for nested in (self.core, self.prefetch_cache, self.interconnect,
+                       self.dram, self.throttle):
+            post_init = getattr(nested, "__post_init__", None)
+            if post_init is not None:
+                post_init()
 
     def replace(self, **changes: object) -> "GpuConfig":
         """Return a copy of this config with the given fields replaced."""

@@ -79,6 +79,9 @@ class Core:
         self.prefetch_issued = 0
         self.late_prefetches = 0
         self.stall_cycles = 0
+        # Warp-lifetime ledger (invariant: assigned == retired + active).
+        self.warps_assigned = 0
+        self.warps_retired = 0
         # Window counters for feedback-directed prefetchers.
         self._window_prefetch_issued = 0
         self._window_late = 0
@@ -91,6 +94,7 @@ class Core:
         """Make a thread block's warps resident on this core."""
         block_id, warp_specs = block
         self._block_warps[block_id] = len(warp_specs)
+        self.warps_assigned += len(warp_specs)
         for warp_id, stream in warp_specs:
             self.warps.append(Warp(warp_id, block_id, stream))
 
@@ -113,6 +117,7 @@ class Core:
         remaining = self._block_warps.get(warp.block_id)
         if remaining is None:
             return
+        self.warps_retired += 1
         if remaining <= 1:
             del self._block_warps[warp.block_id]
             done_block = warp.block_id

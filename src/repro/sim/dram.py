@@ -296,6 +296,16 @@ class Dram:
         ]
         return min(candidates) if candidates else None
 
+    def inflight_requests(self) -> List[MemoryRequest]:
+        """Every request buffered or completing in any channel (invariants)."""
+        requests: List[MemoryRequest] = []
+        for channel in self.channels:
+            for entry in channel.pending:
+                requests.extend(entry.requesters)
+            for _, _, entry in channel._completing:
+                requests.extend(entry.requesters)
+        return requests
+
     @property
     def idle(self) -> bool:
         return all(channel.idle for channel in self.channels)

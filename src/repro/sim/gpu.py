@@ -18,7 +18,14 @@ from repro.core.throttle import ThrottleEngine
 from repro.sim.config import GpuConfig
 from repro.sim.core import Block, Core
 from repro.sim.dram import Dram
+from repro.sim.errors import CycleLimitExceeded, DeadlockError
 from repro.sim.interconnect import Interconnect
+from repro.sim.invariants import (
+    InvariantChecker,
+    diagnose_no_progress,
+    invariants_enabled_from_env,
+    snapshot_simulator,
+)
 from repro.sim.stats import SimStats
 
 PrefetcherFactory = Callable[[int], Optional[HardwarePrefetcher]]
@@ -48,6 +55,11 @@ class SimulationResult:
         return self.stats.cycles
 
     @property
+    def truncated(self) -> bool:
+        """True when the run hit ``max_cycles`` before completing."""
+        return self.stats.truncated
+
+    @property
     def cpi(self) -> float:
         return self.stats.cpi
 
@@ -65,7 +77,16 @@ class GpuSimulator:
         self,
         config: GpuConfig,
         prefetcher_factory: Optional[PrefetcherFactory] = None,
+        invariants: Optional[bool] = None,
     ) -> None:
+        """Build the machine.
+
+        Args:
+            config: Machine configuration (validated at construction).
+            prefetcher_factory: Per-core hardware-prefetcher builder.
+            invariants: Attach an :class:`InvariantChecker` to the main
+                loop.  ``None`` (default) defers to ``$REPRO_INVARIANTS``.
+        """
         self.config = config
         factory = prefetcher_factory or (lambda core_id: None)
         self.cores = [
@@ -81,6 +102,11 @@ class GpuSimulator:
         self.dram = Dram(config.dram)
         self._block_queues = [deque() for _ in range(config.num_cores)]
         self.cycle = 0
+        if invariants is None:
+            invariants = invariants_enabled_from_env()
+        self.invariants: Optional[InvariantChecker] = (
+            InvariantChecker(self) if invariants else None
+        )
 
     # ------------------------------------------------------------------
     # Workload setup
@@ -122,8 +148,21 @@ class GpuSimulator:
     # Main loop
     # ------------------------------------------------------------------
 
-    def run(self) -> SimulationResult:
-        """Simulate until every dispatched warp retires; return statistics."""
+    def run(self, strict: bool = False) -> SimulationResult:
+        """Simulate until every dispatched warp retires; return statistics.
+
+        Failure semantics (see :mod:`repro.sim.errors`):
+
+        * A proven wedge raises :class:`DeadlockError` naming the stuck
+          component, with a diagnostic snapshot attached.
+        * Exhausting ``max_cycles`` marks the returned stats
+          ``truncated=True``; with ``strict=True`` it raises
+          :class:`CycleLimitExceeded` instead (the harness always runs
+          strict so a truncated run can never pose as a completed one).
+        * With invariant checking attached (``invariants=True`` or
+          ``$REPRO_INVARIANTS``), accounting violations raise
+          :class:`~repro.sim.errors.InvariantViolation` mid-run.
+        """
         config = self.config
         cores = self.cores
         icnt = self.interconnect
@@ -132,6 +171,7 @@ class GpuSimulator:
         throttling = config.throttle.enabled
         cycle = self.cycle
         max_cycles = config.max_cycles
+        checker = self.invariants
 
         while cycle < max_cycles:
             # 1. Deliver responses that reached their core.
@@ -164,6 +204,12 @@ class GpuSimulator:
             # 7. Inject requests into the network.
             icnt.inject_requests(cycle, mrqs)
 
+            # 7b. Periodic integrity checks (opt-in; the machine state is
+            # consistent here: all deliveries and injections for this
+            # cycle have happened).
+            if checker is not None:
+                checker.maybe_check(cycle)
+
             if self._finished():
                 break
 
@@ -179,13 +225,26 @@ class GpuSimulator:
             if throttling:
                 candidates.append(min(c.throttle.next_update_cycle for c in cores))
             if not candidates:
-                raise RuntimeError(
-                    f"simulator deadlock at cycle {cycle}: no progress possible"
+                raise DeadlockError(
+                    f"simulator deadlock at cycle {cycle}: "
+                    + diagnose_no_progress(self, cycle),
+                    snapshot=snapshot_simulator(self, cycle),
                 )
             cycle = max(cycle + 1, min(candidates))
 
         self.cycle = cycle
-        return SimulationResult(self._collect_stats(cycle), cores, dram)
+        truncated = cycle >= max_cycles and not self._finished()
+        if checker is not None:
+            checker.check_final(cycle, truncated=truncated)
+        stats = self._collect_stats(cycle)
+        stats.truncated = truncated
+        if truncated and strict:
+            raise CycleLimitExceeded(
+                f"run truncated: max_cycles={max_cycles} exhausted with "
+                f"unretired warps at cycle {cycle}",
+                snapshot=snapshot_simulator(self, cycle),
+            )
+        return SimulationResult(stats, cores, dram)
 
     def _finished(self) -> bool:
         return all(not q for q in self._block_queues) and all(
@@ -229,8 +288,10 @@ def run_workload(
     blocks: Sequence[Block],
     max_blocks_per_core: int,
     prefetcher_factory: Optional[PrefetcherFactory] = None,
+    invariants: Optional[bool] = None,
+    strict: bool = False,
 ) -> SimulationResult:
     """Convenience wrapper: build a simulator, load a workload, run it."""
-    sim = GpuSimulator(config, prefetcher_factory)
+    sim = GpuSimulator(config, prefetcher_factory, invariants=invariants)
     sim.load_workload(blocks, max_blocks_per_core)
-    return sim.run()
+    return sim.run(strict=strict)

@@ -100,6 +100,16 @@ class Interconnect:
             arrivals.append((core_id, request))
         return arrivals
 
+    def inflight_requests(self) -> List[MemoryRequest]:
+        """Every request currently traversing either pipe (for invariants)."""
+        requests = [item[2] for item in self._to_memory]
+        requests.extend(item[3] for item in self._to_core)
+        return requests
+
+    def inflight_counts(self) -> Tuple[int, int]:
+        """(requests toward memory, responses toward cores) in flight."""
+        return len(self._to_memory), len(self._to_core)
+
     def next_event_cycle(self) -> Optional[int]:
         """Earliest in-flight arrival, for the simulator's cycle skipping."""
         candidates = []

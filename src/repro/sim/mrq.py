@@ -30,9 +30,14 @@ class MemoryRequestQueue:
         # Window counters (throttle period scope).
         self.window_merges = 0
         self.window_requests = 0
-        # Run totals.
+        # Run totals.  The created/completed/stores-sent triple is the
+        # entry-lifetime ledger the invariant checker balances:
+        # created == completed + stores_sent + currently resident.
         self.total_merges = 0
         self.total_requests = 0
+        self.total_created = 0
+        self.total_completed = 0
+        self.total_stores_sent = 0
         self.total_demand_on_prefetch_merges = 0
         self.total_prefetch_dropped_full = 0
 
@@ -57,6 +62,16 @@ class MemoryRequestQueue:
         if merged:
             self.window_merges += 1
             self.total_merges += 1
+        else:
+            self.total_created += 1
+
+    def inflight_requests(self) -> List[MemoryRequest]:
+        """Sent, uncompleted load/prefetch entries (conservation check)."""
+        return [
+            entry
+            for entry in self._entries.values()
+            if entry.sent and not entry.is_store
+        ]
 
     def access_demand(
         self, line_addr: int, warp: object, token: int, pc: int, warp_id: int, cycle: int
@@ -138,11 +153,15 @@ class MemoryRequestQueue:
         request.send_cycle = cycle
         if request.is_store:
             self._entries.pop(request.line_addr, None)
+            self.total_stores_sent += 1
         return request
 
     def complete(self, line_addr: int) -> Optional[MemoryRequest]:
         """Free the entry for an arriving response and return it."""
-        return self._entries.pop(line_addr, None)
+        entry = self._entries.pop(line_addr, None)
+        if entry is not None:
+            self.total_completed += 1
+        return entry
 
     def snapshot_and_reset_window(self) -> Dict[str, int]:
         """Return and clear the current throttle-window counters."""

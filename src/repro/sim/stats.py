@@ -40,6 +40,11 @@ class SimStats:
     dram_row_hits: int = 0
     dram_row_misses: int = 0
     stall_cycles: int = 0
+    #: True when the run exhausted ``max_cycles`` before every warp
+    #: retired: the counters cover only a prefix of the workload and must
+    #: never be compared against completed runs.  The harness surfaces
+    #: such runs as :class:`repro.sim.errors.CycleLimitExceeded` failures.
+    truncated: bool = False
     #: Name of the simulated benchmark (set by the harness; "" for raw
     #: simulator runs).  A real typed field so reports and the result
     #: cache can carry it without smuggling strings through ``extra``.
@@ -162,6 +167,7 @@ class SimStats:
         """Flatten counters and derived metrics for reporting."""
         out: Dict[str, float] = {
             "benchmark": self.benchmark,
+            "truncated": self.truncated,
         }
         out.update(
             (name, getattr(self, name))

@@ -1,0 +1,190 @@
+"""Deterministic fault-injection harness for the sweep engine.
+
+These are module-level, picklable worker functions that stand in for the
+real :func:`repro.harness.runner.run_spec` worker inside
+:class:`~repro.harness.sweep.SweepEngine`, injecting the failure modes
+the engine's fault-tolerance machinery must handle:
+
+* transient crashes that succeed on retry (:func:`flaky_worker`),
+* permanent transient-class crashes (:func:`crashing_worker`),
+* deterministic simulation failures that must *not* be retried
+  (:func:`invariant_worker`),
+* stalls confined to one benchmark (:func:`selectively_slow_worker`),
+* truncated runs returning partial statistics (:func:`truncating_worker`).
+
+Determinism across processes: pool workers cannot share in-memory
+counters with the test process, so per-spec attempt counts live as
+marker files in the directory named by ``$REPRO_FAULT_DIR``.  Tests set
+the variable (and clean the directory) via fixtures; fork-started pool
+workers inherit it.  Every worker records its attempts there, so tests
+can assert exact retry counts regardless of which process ran the spec.
+
+:func:`corrupt_cache_entry` covers the persistent-cache side: it
+clobbers an on-disk :class:`~repro.harness.sweep.ResultCache` entry in
+one of several realistic ways (truncated JSON, schema-version mismatch,
+torn binary write) which the cache must treat as a miss, never a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.harness.sweep import ResultCache, fingerprint
+from repro.sim.errors import InvariantViolation
+from repro.sim.stats import SimStats
+
+#: Directory for cross-process attempt counters (set by the test).
+FAULT_DIR_ENV = "REPRO_FAULT_DIR"
+
+#: How long a "stalled" worker sleeps.  Long enough to blow any test
+#: deadline by an order of magnitude, short enough that an orphaned
+#: worker finishing its nap never stalls pytest shutdown noticeably.
+STALL_SECONDS = 2.5
+
+
+def _fault_dir() -> Path:
+    path = os.environ.get(FAULT_DIR_ENV)
+    if not path:
+        raise RuntimeError(
+            f"fault-injection workers need ${FAULT_DIR_ENV} to be set"
+        )
+    return Path(path)
+
+
+def record_attempt(spec) -> int:
+    """Append one attempt marker for ``spec``; returns the attempt number.
+
+    Markers are one file per attempt (create-exclusive), so concurrent
+    workers in different processes never lose an increment.
+    """
+    directory = _fault_dir() / fingerprint(spec)[:16]
+    directory.mkdir(parents=True, exist_ok=True)
+    attempt = 1
+    while True:
+        try:
+            (directory / f"attempt-{attempt}").touch(exist_ok=False)
+            return attempt
+        except FileExistsError:
+            attempt += 1
+
+
+def attempts_made(spec) -> int:
+    """How many attempts any process has recorded for ``spec``."""
+    directory = _fault_dir() / fingerprint(spec)[:16]
+    if not directory.is_dir():
+        return 0
+    return sum(1 for _ in directory.glob("attempt-*"))
+
+
+def _stats_for(spec) -> SimStats:
+    """Deterministic fake statistics, distinguishable per benchmark."""
+    stats = SimStats(
+        cycles=1000 + len(spec.benchmark),
+        instructions=100,
+    )
+    stats.benchmark = spec.benchmark
+    return stats
+
+
+def flaky_worker(spec) -> SimStats:
+    """Crash with a transient ``OSError`` on the first attempt per spec,
+    succeed on every later attempt — the retry-then-success scenario."""
+    attempt = record_attempt(spec)
+    if attempt == 1:
+        raise OSError(f"injected transient fault (attempt {attempt})")
+    return _stats_for(spec)
+
+
+def crashing_worker(spec) -> SimStats:
+    """Crash with a transient ``OSError`` on *every* attempt — exercises
+    retry exhaustion."""
+    attempt = record_attempt(spec)
+    raise OSError(f"injected permanent fault (attempt {attempt})")
+
+
+def invariant_worker(spec) -> SimStats:
+    """Raise a deterministic :class:`InvariantViolation` on every attempt.
+
+    The engine must record it immediately (kind ``"invariant"``) without
+    burning retries: the violation is a property of the simulation, not
+    of the infrastructure.
+    """
+    record_attempt(spec)
+    raise InvariantViolation(
+        "injected invariant violation",
+        violations=["cycle 42: injected ledger imbalance"],
+        snapshot={"cycle": 42},
+    )
+
+
+def selectively_slow_worker(spec) -> SimStats:
+    """Stall (sleep well past any test deadline) for benchmark ``monte``
+    only; return instantly for everything else.  Lets tests prove that a
+    per-run deadline condemns exactly the stalled run."""
+    record_attempt(spec)
+    if spec.benchmark == "monte":
+        time.sleep(STALL_SECONDS)
+    return _stats_for(spec)
+
+
+def truncating_worker(spec) -> SimStats:
+    """Return statistics flagged ``truncated`` — a run that hit its cycle
+    limit.  The engine must surface it as a ``truncated`` failure and
+    must never cache it."""
+    record_attempt(spec)
+    stats = _stats_for(spec)
+    stats.truncated = True
+    return stats
+
+
+def fast_worker(spec) -> SimStats:
+    """Always succeed instantly (control runs alongside injected faults)."""
+    record_attempt(spec)
+    return _stats_for(spec)
+
+
+# ----------------------------------------------------------------------
+# Cache corruption
+# ----------------------------------------------------------------------
+
+CORRUPTION_MODES = ("truncated-json", "schema-mismatch", "torn-binary",
+                    "wrong-shape")
+
+
+def corrupt_cache_entry(cache: ResultCache, key: str, mode: str) -> Path:
+    """Clobber the cache entry for ``key`` in a realistic way.
+
+    Modes:
+
+    * ``truncated-json`` — the file ends mid-object, as if the writer
+      died before finishing (without the atomic-rename protection).
+    * ``schema-mismatch`` — a well-formed entry written by an
+      incompatible (future) schema version.
+    * ``torn-binary`` — non-UTF-8 garbage, as from a torn page or a
+      foreign file landing in the cache directory.
+    * ``wrong-shape`` — valid JSON of the wrong type entirely.
+
+    Returns the path that was written.
+    """
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if mode == "truncated-json":
+        full = json.dumps({"schema": 2, "key": key, "stats": {"cycles": 1}})
+        path.write_text(full[: len(full) // 2], encoding="utf-8")
+    elif mode == "schema-mismatch":
+        path.write_text(
+            json.dumps({"schema": 999, "key": key,
+                        "stats": {"cycles": 1}}),
+            encoding="utf-8",
+        )
+    elif mode == "torn-binary":
+        path.write_bytes(b"\x00\xff\xfe{torn" + os.urandom(16))
+    elif mode == "wrong-shape":
+        path.write_text(json.dumps(["not", "a", "cache", "entry"]),
+                        encoding="utf-8")
+    else:  # pragma: no cover - guard against typo'd parametrization
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    return path

@@ -30,6 +30,8 @@ from repro.harness.sweep import (
 from repro.sim.gpu import SimulationResult
 from repro.sim.stats import SimStats
 
+from tests.harness import faults
+
 SCALE = 0.05
 
 #: A bench_fig13-style grid: benchmarks x (baseline + HW prefetchers).
@@ -88,6 +90,28 @@ class TestFingerprint:
         assert fingerprint(a) != fingerprint(b)
 
 
+class TestSpecValidation:
+    def test_unknown_schemes_rejected_eagerly(self):
+        with pytest.raises(KeyError, match="software"):
+            make_spec("monte", software="no-such-swp", scale=SCALE)
+        with pytest.raises(KeyError, match="hardware"):
+            make_spec("monte", hardware="no-such-hwp", scale=SCALE)
+
+    @pytest.mark.parametrize(
+        "kwargs, needle",
+        [
+            ({"distance": 0}, "distance"),
+            ({"distance": -2}, "distance"),
+            ({"degree": 0}, "degree"),
+            ({"scale": 0.0}, "scale"),
+            ({"scale": -1.0}, "scale"),
+        ],
+    )
+    def test_nonsensical_aggressiveness_rejected(self, kwargs, needle):
+        with pytest.raises(ValueError, match=needle):
+            make_spec("monte", **{"scale": SCALE, **kwargs})
+
+
 class TestResultCache:
     def test_round_trip(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -125,6 +149,49 @@ class TestResultCache:
         path.write_text("{ not json")
         assert cache.get(key) is None
         assert cache.errors == 1
+
+    @pytest.mark.parametrize("mode", faults.CORRUPTION_MODES)
+    def test_realistic_corruption_is_a_miss_never_a_crash(self, tmp_path, mode):
+        """Truncated JSON, schema mismatches, torn binary writes, and
+        wrong-shaped payloads all degrade to cache misses."""
+        cache = ResultCache(tmp_path)
+        spec = make_spec("monte", scale=SCALE)
+        key = fingerprint(spec)
+        faults.corrupt_cache_entry(cache, key, mode)
+        assert cache.get(key) is None
+        assert cache.errors == 1 and cache.misses == 1
+
+    def test_corrupt_entry_is_overwritten_and_healed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec("monte", scale=SCALE)
+        key = fingerprint(spec)
+        faults.corrupt_cache_entry(cache, key, "truncated-json")
+        assert cache.get(key) is None
+        cache.put(key, spec, SimStats(cycles=42))
+        healed = cache.get(key)
+        assert healed is not None and healed.cycles == 42
+
+    def test_sweep_resimulates_over_corrupt_entry(self, tmp_path):
+        """End to end: a sweep hitting a corrupt entry quietly re-simulates
+        and repairs the cache."""
+        spec = make_spec("monte", scale=SCALE)
+        key = fingerprint(spec)
+        first = SweepEngine(cache=ResultCache(tmp_path), jobs=1)
+        [good] = first.run([spec])
+        faults.corrupt_cache_entry(first.cache, key, "torn-binary")
+        second = SweepEngine(cache=ResultCache(tmp_path), jobs=1)
+        [repaired] = second.run([spec])
+        assert second.simulated == 1  # corrupt entry did not count as a hit
+        assert repaired.stats.to_dict() == good.stats.to_dict()
+        third = SweepEngine(cache=ResultCache(tmp_path), jobs=1)
+        third.run([spec])
+        assert third.cache_hits == 1  # the repair stuck
+
+    def test_truncated_stats_are_never_stored(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec("monte", scale=SCALE)
+        cache.put(fingerprint(spec), spec, SimStats(cycles=5, truncated=True))
+        assert len(cache) == 0 and cache.stores == 0
 
     def test_build_result_cache_knobs(self, tmp_path, monkeypatch):
         monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)

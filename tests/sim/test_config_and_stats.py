@@ -62,6 +62,97 @@ class TestConfig:
         assert t.early_eviction_high > t.early_eviction_low
 
 
+class TestConfigValidation:
+    """Nonsensical machine descriptions fail loudly at construction."""
+
+    @pytest.mark.parametrize(
+        "kwargs, needle",
+        [
+            ({"num_cores": 0}, "num_cores"),
+            ({"num_cores": -3}, "num_cores"),
+            ({"max_cycles": 0}, "max_cycles"),
+            ({"perfect_memory_latency": -1}, "perfect_memory_latency"),
+        ],
+    )
+    def test_top_level_rejections(self, kwargs, needle):
+        with pytest.raises(ValueError, match=needle):
+            baseline_config(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs, needle",
+        [
+            ({"warp_size": 0}, "warp_size"),
+            ({"simd_width": -1}, "simd_width"),
+            ({"mrq_size": 0}, "mrq_size"),
+            ({"max_blocks_limit": 0}, "max_blocks_limit"),
+            ({"max_threads_per_core": 8}, "max_threads_per_core"),
+            ({"scheduler": "lottery"}, "scheduler"),
+            ({"issue_cycles_default": 0}, "issue_cycles_default"),
+        ],
+    )
+    def test_core_rejections(self, kwargs, needle):
+        with pytest.raises(ValueError, match=needle):
+            CoreConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs, needle",
+        [
+            ({"size_bytes": 0}, "size_bytes"),
+            ({"associativity": 0}, "associativity"),
+            ({"line_bytes": -64}, "line_bytes"),
+        ],
+    )
+    def test_prefetch_cache_rejections(self, kwargs, needle):
+        with pytest.raises(ValueError, match=needle):
+            PrefetchCacheConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs, needle",
+        [
+            ({"num_channels": 0}, "num_channels"),
+            ({"banks_per_channel": 0}, "banks_per_channel"),
+            ({"row_bytes": 32, "line_bytes": 64}, "row_bytes"),
+            ({"burst_cycles": 0}, "burst_cycles"),
+            ({"request_buffer_size": 0}, "request_buffer_size"),
+            ({"t_cl": -1}, "t_cl"),
+        ],
+    )
+    def test_dram_rejections(self, kwargs, needle):
+        with pytest.raises(ValueError, match=needle):
+            DramConfig(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs, needle",
+        [
+            ({"period": 0}, "period"),
+            ({"initial_degree": 7}, "initial_degree"),
+            ({"initial_degree": -1}, "initial_degree"),
+            ({"early_eviction_low": 0.5, "early_eviction_high": 0.1}, "low <= high"),
+        ],
+    )
+    def test_throttle_rejections(self, kwargs, needle):
+        with pytest.raises(ValueError, match=needle):
+            ThrottleConfig(**kwargs)
+
+    def test_replace_revalidates(self):
+        cfg = baseline_config()
+        with pytest.raises(ValueError, match="num_cores"):
+            cfg.replace(num_cores=0)
+
+    def test_messages_are_actionable(self):
+        with pytest.raises(ValueError) as excinfo:
+            baseline_config(num_cores=0)
+        message = str(excinfo.value)
+        assert "invalid simulator configuration" in message
+        assert "got 0" in message
+
+    def test_valid_edge_values_accepted(self):
+        baseline_config(num_cores=1, max_cycles=1)
+        CoreConfig(warp_size=1, max_threads_per_core=1)
+        ThrottleConfig(initial_degree=0)
+        ThrottleConfig(initial_degree=5)
+
+
 class TestSimStats:
     def test_cpi(self):
         stats = SimStats(cycles=1000, num_cores=14, instructions=3500)
@@ -117,3 +208,9 @@ class TestSimStats:
     def test_demand_instructions_excludes_prefetch_insts(self):
         stats = SimStats(instructions=100, prefetch_instructions=30)
         assert stats.demand_instructions == 70
+
+    def test_truncated_flag_serializes(self):
+        stats = SimStats(cycles=10, truncated=True)
+        assert stats.as_dict()["truncated"] is True
+        assert SimStats.from_dict(stats.to_dict()).truncated is True
+        assert SimStats().truncated is False

@@ -58,6 +58,8 @@ def test_max_cycles_guard():
     result = sim.run()
     assert result.stats.instructions < 2
     assert not all(core.drained for core in sim.cores)
+    # Truncation is never silent: the partial result is flagged.
+    assert result.truncated and result.stats.truncated
 
 
 def test_uneven_blocks_across_cores():

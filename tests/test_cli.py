@@ -99,6 +99,29 @@ def test_no_cache_flag_disables_persistence(tmp_path, capsys):
     assert not cache.exists()
 
 
+def test_integrity_flags(tmp_path, monkeypatch, capsys):
+    """--invariants exports REPRO_INVARIANTS and the fault-tolerance flags
+    thread through to a working run with a checkpoint manifest."""
+    import os
+
+    monkeypatch.delenv("REPRO_INVARIANTS", raising=False)
+    manifest = tmp_path / "sweep.jsonl"
+    assert main([
+        "run", "cell", "--scale", "0.1", "--invariants", "--retries", "1",
+        "--timeout", "120", "--max-failures", "3",
+        "--manifest", str(manifest),
+    ]) == 0
+    assert os.environ.get("REPRO_INVARIANTS") == "1"
+    assert "speedup" in capsys.readouterr().out
+    lines = [json.loads(l) for l in manifest.read_text().splitlines()]
+    assert lines and all(r["status"] == "done" for r in lines)
+
+
+def test_fail_fast_flag_parses(capsys):
+    assert main(["run", "cell", "--scale", "0.1", "--fail-fast"]) == 0
+    assert "speedup" in capsys.readouterr().out
+
+
 def test_invalid_benchmark_errors():
     with pytest.raises(KeyError):
         main(["run", "not-a-benchmark"])
