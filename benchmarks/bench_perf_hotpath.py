@@ -1,0 +1,33 @@
+"""Simulator hot-path throughput (sim-cycles per wall-clock second).
+
+Unlike the per-figure targets, this benchmark measures the *simulator
+itself*: the fixed spec subset from :mod:`repro.harness.perf` runs
+uncached, and pytest-benchmark records the wall time of the simulation
+loop.  ``python -m repro perf`` is the standalone (non-pytest) front end
+over the same subset and writes the committed ``BENCH_perf.json``.
+"""
+
+import pytest
+
+from repro.harness import perf
+
+
+@pytest.mark.parametrize(
+    "request_kwargs",
+    perf.PERF_SPECS,
+    ids=lambda r: f"{r['benchmark']}-{r['hardware']}-{r['software']}",
+)
+def test_hotpath_throughput(benchmark, request_kwargs):
+    measured = benchmark.pedantic(
+        perf._measure_one, args=(dict(request_kwargs), 1),
+        rounds=1, iterations=1,
+    )
+    # The run completed and produced a positive throughput figure.
+    assert measured["cycles"] > 0
+    assert measured["sim_cycles_per_sec"] > 0
+    print()
+    print(
+        f"{measured['benchmark']}: {measured['cycles']} cycles in "
+        f"{measured['wall_seconds']:.3f}s "
+        f"({measured['sim_cycles_per_sec']:,.0f} sim-cycles/s)"
+    )

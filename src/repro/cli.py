@@ -31,6 +31,13 @@ sweep flags:
 * ``--invariants`` — enable the simulation integrity checker
   (equivalent to ``REPRO_INVARIANTS=1``) in this process and all sweep
   workers.
+* ``--profile DIR`` — write a per-run performance profile JSON
+  (wall-clock phase timers + per-component activity) into DIR for every
+  run actually executed, in this process and all sweep workers
+  (equivalent to ``REPRO_PROFILE_DIR=DIR``).
+
+``perf`` runs the fixed performance benchmark subset and writes a
+``BENCH_perf.json`` throughput document (see :mod:`repro.harness.perf`).
 """
 
 from __future__ import annotations
@@ -41,13 +48,14 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.harness import experiments
+from repro.harness import experiments, perf
 from repro.harness.report import format_speedup_figure, format_sweep, format_table
 from repro.harness.runner import (
     HARDWARE_SCHEMES,
     ExperimentRunner,
 )
 from repro.sim.invariants import INVARIANTS_ENV
+from repro.sim.profiling import PROFILE_DIR_ENV
 from repro.trace.benchmarks import COMPUTE_BENCHMARKS, MEMORY_BENCHMARKS
 from repro.trace.swp import SCHEMES as SOFTWARE_SCHEMES
 
@@ -91,12 +99,20 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
         help="enable simulation invariant checking (REPRO_INVARIANTS=1) "
              "in this process and all sweep workers",
     )
+    parser.add_argument(
+        "--profile", default=None, metavar="DIR",
+        help="write a per-run performance profile JSON into DIR "
+             "(REPRO_PROFILE_DIR=DIR) in this process and all sweep workers",
+    )
 
 
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    """Build the :class:`ExperimentRunner` shared by the sweep commands."""
     if args.invariants:
         # Exported (not passed) so forked/spawned sweep workers inherit it.
         os.environ[INVARIANTS_ENV] = "1"
+    if args.profile:
+        os.environ[PROFILE_DIR_ENV] = args.profile
     return ExperimentRunner(
         scale=args.scale,
         jobs=args.jobs,
@@ -158,6 +174,40 @@ def _build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--scale", type=float, default=1.0)
     fig_p.add_argument("--subset", nargs="*", default=None)
     _add_sweep_flags(fig_p)
+
+    perf_p = sub.add_parser(
+        "perf", help="benchmark the simulator hot path (BENCH_perf.json)",
+    )
+    perf_p.add_argument(
+        "--quick", action="store_true",
+        help="run the sub-second smoke subset (CI perf-smoke job)",
+    )
+    perf_p.add_argument(
+        "--repeats", type=int, default=1, metavar="N",
+        help="timed repetitions per spec; best-of-N is reported (default: 1)",
+    )
+    perf_p.add_argument(
+        "--output", default=None, metavar="FILE",
+        help=f"output document path (default: {perf.DEFAULT_OUTPUT}; "
+             "'-' prints the summary only)",
+    )
+    perf_p.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="committed BENCH_perf.json to compare against "
+             "(default: the output path's previous content)",
+    )
+    perf_p.add_argument(
+        "--max-regression", type=float, default=0.30, metavar="FRAC",
+        help="fail when sim-cycles/sec drops more than FRAC below the "
+             "baseline (default: 0.30)",
+    )
+    perf_p.add_argument(
+        "--label", default=None, metavar="TEXT",
+        help="history label recorded for this measurement",
+    )
+    perf_p.add_argument(
+        "--json", action="store_true", help="print the full document as JSON",
+    )
     return parser
 
 
@@ -307,13 +357,44 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    """``perf``: measure hot-path throughput, write/compare BENCH_perf."""
+    doc = perf.run_perf(
+        quick=args.quick,
+        repeats=args.repeats,
+        generated=perf.timestamp_now(),
+    )
+    output = args.output or perf.DEFAULT_OUTPUT
+    baseline_path = args.baseline or (output if output != "-" else None)
+    baseline = perf.load_document(baseline_path) if baseline_path else None
+    failure = perf.check_regression(doc, baseline or {}, args.max_regression)
+    if args.label:
+        perf.merge_history(doc, baseline, args.label)
+    elif baseline:
+        doc["history"] = list(baseline.get("history") or [])
+    if output != "-":
+        perf.write_document(doc, output)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(perf.format_summary(doc))
+        if output != "-":
+            print(f"wrote {output}")
+    if failure is not None:
+        print(failure, file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     handler = {
         "run": _cmd_run,
         "compare": _cmd_compare,
         "list": _cmd_list,
         "figure": _cmd_figure,
+        "perf": _cmd_perf,
     }[args.command]
     return handler(args)
 

@@ -16,6 +16,8 @@ V = TypeVar("V")
 class LruTable(Generic[V]):
     """A bounded mapping with least-recently-used replacement."""
 
+    __slots__ = ("capacity", "_entries", "evictions")
+
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError("table capacity must be positive")

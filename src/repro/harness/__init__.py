@@ -3,10 +3,12 @@ reproduce each of the paper's figures and tables.
 
 The harness is layered: :mod:`repro.harness.sweep` provides the parallel
 sweep engine and the persistent result cache, :mod:`repro.harness.runner`
-normalizes run requests and memoizes results through it, and
-:mod:`repro.harness.experiments` defines the per-figure grids.
+normalizes run requests and memoizes results through it,
+:mod:`repro.harness.experiments` defines the per-figure grids, and
+:mod:`repro.harness.perf` benchmarks the simulator hot path itself.
 """
 
+from repro.harness.perf import check_regression, run_perf
 from repro.harness.runner import (
     HARDWARE_SCHEMES,
     ExperimentRunner,
@@ -40,9 +42,11 @@ __all__ = [
     "SweepEngine",
     "SweepManifest",
     "build_result_cache",
+    "check_regression",
     "default_cache_dir",
     "fingerprint",
     "geometric_mean",
+    "run_perf",
     "is_transient_failure",
     "make_spec",
     "run_benchmark",

@@ -42,6 +42,7 @@ from repro.harness.sweep import (
 )
 from repro.sim.config import GpuConfig, ThrottleConfig, baseline_config
 from repro.sim.gpu import GpuSimulator, SimulationResult
+from repro.sim.profiling import SimProfiler, profile_dir_from_env
 from repro.trace.benchmarks import get_benchmark
 from repro.trace.kernels import KernelSpec
 from repro.trace.swp import SCHEMES, SoftwarePrefetchConfig
@@ -172,6 +173,7 @@ def _simulate(
     throttle: bool,
     perfect_memory: bool,
     strict: bool = False,
+    profiler: Optional[SimProfiler] = None,
 ) -> SimulationResult:
     """The single execution path behind every run (serial, pooled, cached)."""
     if perfect_memory:
@@ -182,14 +184,18 @@ def _simulate(
         (lambda core_id: builder(distance, degree)) if builder is not None else None
     )
     workload = generate_workload(kernel, swp=swp)
-    sim = GpuSimulator(cfg, factory)
+    sim = GpuSimulator(cfg, factory, profiler=profiler)
     sim.load_workload(workload.blocks, workload.max_blocks_per_core)
     result = sim.run(strict=strict)
     result.stats.benchmark = kernel.name
     return result
 
 
-def run_spec(spec: RunSpec, strict: bool = True) -> SimulationResult:
+def run_spec(
+    spec: RunSpec,
+    strict: bool = True,
+    profile_path: Union[str, Path, None] = None,
+) -> SimulationResult:
     """Execute one fully-normalized :class:`RunSpec`.
 
     This is the sweep-engine worker entry point; no further defaulting
@@ -198,13 +204,34 @@ def run_spec(spec: RunSpec, strict: bool = True) -> SimulationResult:
     ``max_cycles`` raises :class:`~repro.sim.errors.CycleLimitExceeded`
     instead of returning partial statistics, so a truncated simulation
     can never be cached or averaged into a figure as if it completed.
+
+    Args:
+        spec: The normalized run specification.
+        strict: Raise on truncation instead of returning partial stats.
+        profile_path: Write a :class:`~repro.sim.profiling.SimProfiler`
+            JSON document here after the run.  ``None`` (default) defers
+            to ``$REPRO_PROFILE_DIR``: when that names a directory, the
+            profile lands there as ``<benchmark>-<fingerprint[:12]>.json``
+            (the sweep engine's cache key prefix, so profiles and cached
+            results correlate).  Profiling never changes the simulated
+            statistics — the determinism suite asserts this.
     """
     kernel = get_benchmark(spec.benchmark, scale=spec.scale)
     builder = HARDWARE_SCHEMES[spec.hardware]
-    return _simulate(
+    if profile_path is None:
+        profile_dir = profile_dir_from_env()
+        if profile_dir is not None:
+            profile_path = profile_dir / f"{spec.benchmark}-{fingerprint(spec)[:12]}.json"
+    profiler = SimProfiler() if profile_path is not None else None
+    result = _simulate(
         kernel, spec.software, builder, spec.distance, spec.degree,
         spec.config, spec.throttle, spec.perfect_memory, strict=strict,
+        profiler=profiler,
     )
+    if profiler is not None:
+        profiler.benchmark = spec.benchmark
+        profiler.write(profile_path)
+    return result
 
 
 def run_benchmark(
@@ -415,6 +442,7 @@ class ExperimentRunner:
         return variant.speedup_over(base)
 
     def cache_size(self) -> int:
+        """Number of distinct runs held in the in-memory memo cache."""
         return len(self._cache)
 
 
@@ -442,6 +470,7 @@ def geometric_mean(values: Iterable[float]) -> float:
 
 
 def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain average, used where the paper reports arithmetic means."""
     vals = list(values)
     if not vals:
         return 0.0

@@ -245,9 +245,11 @@ class ResultCache:
         self.errors = 0
 
     def path_for(self, key: str) -> Path:
+        """On-disk location for a fingerprint key (two-level fan-out)."""
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[SimStats]:
+        """Load cached stats for ``key``, or None on miss/corruption."""
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as fh:
@@ -267,6 +269,7 @@ class ResultCache:
         return stats
 
     def put(self, key: str, spec: RunSpec, stats: SimStats) -> None:
+        """Persist a completed run atomically (best-effort; never raises)."""
         if stats.truncated:
             # A truncated run is not a result; caching it would let a
             # partial simulation masquerade as a completed one forever.
@@ -375,6 +378,7 @@ class SweepManifest:
             pass  # journaling is best-effort, like the result cache
 
     def record_success(self, key: str, spec: RunSpec, stats: SimStats) -> None:
+        """Journal a completed run so a resumed sweep can replay it."""
         self._append(
             {
                 "key": key,
@@ -385,6 +389,7 @@ class SweepManifest:
         )
 
     def record_failure(self, failure: RunFailure) -> None:
+        """Journal a failed run (resumed sweeps re-attempt it)."""
         self._append(
             {
                 "key": failure.key,
@@ -422,6 +427,7 @@ class ProgressReporter:
         self._t0 = 0.0
 
     def start(self, total: int, cached: int = 0) -> None:
+        """Begin a sweep of ``total`` runs, ``cached`` already satisfied."""
         self.total = total
         self.done = cached
         self.cached = cached
@@ -430,12 +436,14 @@ class ProgressReporter:
         self._emit()
 
     def step(self, failed: bool = False) -> None:
+        """Record one finished run and refresh the progress line."""
         self.done += 1
         if failed:
             self.failed += 1
         self._emit()
 
     def finish(self) -> None:
+        """Terminate the progress line at the end of a sweep."""
         if self.enabled and self.total:
             self._emit()
             self.stream.write("\n")
@@ -572,6 +580,7 @@ class SweepEngine:
     # ------------------------------------------------------------------
 
     def run(self, specs: Sequence[RunSpec]) -> List[Outcome]:
+        """Execute a sweep; one outcome per input spec, in input order."""
         keys = [fingerprint(spec) for spec in specs]
         unique: Dict[str, RunSpec] = {}
         for key, spec in zip(keys, specs):

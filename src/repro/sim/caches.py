@@ -22,6 +22,8 @@ class SetAssociativeCache:
     prefetch cache and for idealized constant/texture caches.
     """
 
+    __slots__ = ("line_bytes", "associativity", "num_sets", "_sets")
+
     def __init__(self, size_bytes: int, associativity: int, line_bytes: int = 64) -> None:
         if size_bytes <= 0 or associativity <= 0 or line_bytes <= 0:
             raise ValueError("cache geometry must be positive")
@@ -38,7 +40,9 @@ class SetAssociativeCache:
 
     def lookup(self, line_addr: int, touch: bool = True) -> Optional[object]:
         """Return the payload for ``line_addr`` or None; updates LRU on hit."""
-        cache_set = self._set_for(line_addr)
+        # _set_for is inlined here: every demand load probes the prefetch
+        # cache once per line, making this the hottest cache entry point.
+        cache_set = self._sets[(line_addr // self.line_bytes) % self.num_sets]
         payload = cache_set.get(line_addr)
         if payload is not None and touch:
             cache_set.move_to_end(line_addr)
@@ -90,6 +94,13 @@ class PrefetchCache:
     * ``hits`` / ``misses`` — demand lookup outcomes (cumulative totals are
       also kept for end-of-run statistics).
     """
+
+    __slots__ = (
+        "config", "_cache",
+        "window_useful", "window_early_evictions", "window_hits",
+        "total_useful", "total_early_evictions", "total_hits",
+        "total_misses", "total_fills",
+    )
 
     def __init__(self, config: PrefetchCacheConfig) -> None:
         self.config = config

@@ -21,13 +21,14 @@ GPU-wide queue.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.base import HardwarePrefetcher
 from repro.core.throttle import ThrottleEngine, ThrottleWindow
 from repro.sim.caches import PrefetchCache
 from repro.sim.config import GpuConfig
-from repro.sim.isa import MemSpace, Op, WarpInstruction
+from repro.sim.isa import Op, WarpInstruction
 from repro.sim.memory_request import MemoryRequest
 from repro.sim.mrq import MemoryRequestQueue
 from repro.sim.warp import Warp
@@ -57,6 +58,13 @@ class Core:
         self.max_blocks = 1
         self.port_free_cycle = 0
         self._rr_index = 0
+        # Count of resident warps that have not finished their stream,
+        # maintained by assign/issue so :attr:`drained` is O(1) — the GPU
+        # main loop polls it every eventful cycle.
+        self._unfinished = 0
+        #: Optional :class:`~repro.sim.profiling.SimProfiler` attached by
+        #: the simulator; when set, prefetcher table lookups are timed.
+        self.profiler = None
         self._issue_cycles = {
             Op.COMPUTE: config.core.issue_cycles_default,
             Op.IMUL: config.core.issue_cycles_imul,
@@ -96,22 +104,33 @@ class Core:
         self._block_warps[block_id] = len(warp_specs)
         self.warps_assigned += len(warp_specs)
         for warp_id, stream in warp_specs:
-            self.warps.append(Warp(warp_id, block_id, stream))
+            warp = Warp(warp_id, block_id, stream)
+            self.warps.append(warp)
+            if not warp.finished:
+                self._unfinished += 1
 
     @property
     def resident_blocks(self) -> int:
+        """Number of thread blocks currently resident on this core."""
         return len(self._block_warps)
 
     def has_free_block_slot(self) -> bool:
+        """True when another thread block can be made resident."""
         return len(self._block_warps) < self.max_blocks
 
     def active_warp_count(self) -> int:
+        """Count of resident warps that have not finished (recomputed).
+
+        Deliberately recounts the warp list rather than returning the
+        incrementally-maintained counter, so the invariant checker can
+        cross-check the two.
+        """
         return sum(1 for w in self.warps if not w.finished)
 
     @property
     def drained(self) -> bool:
-        """True when no resident warp has work left."""
-        return not self._block_warps and all(w.finished for w in self.warps)
+        """True when no resident warp has work left (O(1))."""
+        return not self._block_warps and self._unfinished == 0
 
     def _retire_warp(self, warp: Warp) -> None:
         remaining = self._block_warps.get(warp.block_id)
@@ -141,42 +160,42 @@ class Core:
         """
         if self.port_free_cycle > cycle:
             return False, self.port_free_cycle
-        num_warps = len(self.warps)
+        warps = self.warps
+        num_warps = len(warps)
         if num_warps == 0:
             return False, None
         min_ready: Optional[int] = None
-        structural_stall = False
-        for offset in range(num_warps):
-            index = (self._rr_index + offset) % num_warps
-            warp = self.warps[index]
+        index = self._rr_index
+        for _ in range(num_warps):
+            if index >= num_warps:
+                index -= num_warps
+            warp = warps[index]
+            index += 1
             if warp.finished:
                 continue
-            if warp.ready_cycle > cycle:
-                if min_ready is None or warp.ready_cycle < min_ready:
-                    min_ready = warp.ready_cycle
+            ready_cycle = warp.ready_cycle
+            if ready_cycle > cycle:
+                if min_ready is None or ready_cycle < min_ready:
+                    min_ready = ready_cycle
                 continue
             inst = warp.stream[warp.pc_index]
-            if inst.wait_tokens and not warp.deps_ready(inst):
+            wait = inst.wait_tokens
+            if wait and not warp.tokens_done.issuperset(wait):
                 continue
-            if inst.is_memory and inst.space == MemSpace.GLOBAL:
-                if not self._mrq_has_room(inst):
-                    if inst.op == Op.PREFETCH:
-                        # A throttle-style structural drop never stalls the
-                        # warp: the prefetch instruction retires, its
-                        # requests are dropped.
-                        pass
-                    else:
-                        structural_stall = True
-                        continue
+            if inst.global_memory and not self._mrq_has_room(inst):
+                if inst.op != Op.PREFETCH:
+                    # Structural stall: MRQ space frees when a response
+                    # arrives (an external event), but responses are only
+                    # observed on event boundaries anyway.
+                    continue
+                # A throttle-style structural drop never stalls the warp:
+                # the prefetch instruction retires, its requests are
+                # dropped.
             self._issue(warp, inst, cycle)
             if self.config.core.scheduler != "oldest":
-                self._rr_index = (index + 1) % num_warps
+                self._rr_index = index if index < num_warps else 0
             return True, None
         self.stall_cycles += 1
-        if structural_stall:
-            # MRQ space frees when a response arrives (an external event),
-            # but responses are only observed on event boundaries anyway.
-            return False, min_ready
         return False, min_ready
 
     def _mrq_has_room(self, inst: WarpInstruction) -> bool:
@@ -193,10 +212,11 @@ class Core:
         return len(mrq) + needed <= mrq.size
 
     def _issue(self, warp: Warp, inst: WarpInstruction, cycle: int) -> None:
-        occupancy = self._issue_cycles[inst.op]
+        """Issue one warp-instruction: occupy the port, run its side effects."""
+        op = inst.op
+        occupancy = self._issue_cycles[op]
         self.port_free_cycle = cycle + occupancy
         self.instructions += 1
-        op = inst.op
         if op == Op.LOAD:
             self._issue_load(warp, inst, cycle)
         elif op == Op.STORE:
@@ -206,11 +226,13 @@ class Core:
             self._issue_software_prefetch(warp, inst, cycle)
         warp.advance(cycle, cycle + occupancy)
         if warp.finished:
+            self._unfinished -= 1
             self._retire_warp(warp)
 
     def _issue_load(self, warp: Warp, inst: WarpInstruction, cycle: int) -> None:
+        """Route a LOAD through the prefetch cache and MRQ; train prefetcher."""
         self.demand_loads += 1
-        if inst.space != MemSpace.GLOBAL or self.config.perfect_memory:
+        if not inst.global_memory or self.config.perfect_memory:
             # Shared/constant accesses (and all accesses under the perfect
             # memory model) complete immediately.
             warp.begin_load(inst.token, 0)
@@ -234,15 +256,25 @@ class Core:
             pending += 1
         warp.begin_load(inst.token, pending)
         if self.prefetcher is not None:
-            targets = self.prefetcher.observe(
-                inst.pc, warp.warp_id, inst.base_addr, cycle
-            )
+            prof = self.profiler
+            if prof is None:
+                targets = self.prefetcher.observe(
+                    inst.pc, warp.warp_id, inst.base_addr, cycle
+                )
+            else:
+                t0 = perf_counter()
+                targets = self.prefetcher.observe(
+                    inst.pc, warp.warp_id, inst.base_addr, cycle
+                )
+                prof.wall["prefetcher"] += perf_counter() - t0
+                prof.counts["prefetcher_lookups"] += 1
             if targets:
                 footprint = len(inst.lines)
                 self._issue_hw_prefetches(targets, inst, warp.warp_id, footprint, cycle)
 
     def _issue_store(self, warp: Warp, inst: WarpInstruction, cycle: int) -> None:
-        if inst.space != MemSpace.GLOBAL or self.config.perfect_memory:
+        """Route a STORE through the MRQ (fire-and-forget, no waiters)."""
+        if not inst.global_memory or self.config.perfect_memory:
             return
         for line in inst.lines:
             self.mrq.access_store(line, inst.pc, warp.warp_id, cycle)

@@ -25,6 +25,10 @@ from repro.sim.memory_request import MemoryRequest
 
 _seq = itertools.count()
 
+#: Shared immutable "nothing completed" result, so the common idle-channel
+#: step does not allocate a fresh list per channel per eventful cycle.
+_NO_ENTRIES: Tuple[()] = ()
+
 
 class BufferEntry:
     """One line-sized transaction in a channel's request buffer.
@@ -162,21 +166,37 @@ class DramChannel:
             self._by_line[request.line_addr] = entry
 
     def _pick(self, cycle: int) -> Optional[int]:
-        """Index of the best *schedulable* entry: demand > row-hit > oldest."""
+        """Index of the best *schedulable* entry: demand > row-hit > oldest.
+
+        This is the hottest loop in the simulator (it scans the whole
+        request buffer once per serviced entry), so the
+        :meth:`BufferEntry.is_demand_now` promotion check is inlined as
+        plain attribute reads and the priority key is two small ints
+        instead of a per-entry tuple.
+        """
         best_index = None
-        best_key = None
+        best_p = 4  # one past the worst possible priority class
+        best_arrival = 0
+        banks = self.banks
+        demand_priority = self.config.demand_priority
         for i, entry in enumerate(self.pending):
             if entry.ready_cycle > cycle:
                 continue
-            bank = self.banks[entry.bank]
-            row_hit = bank.open_row == entry.row
-            key = (
-                0 if (self.config.demand_priority and entry.is_demand_now()) else 1,
-                0 if row_hit else 1,
-                entry.arrival,
-            )
-            if best_key is None or key < best_key:
-                best_key = key
+            demand = entry.demand
+            if not demand:
+                # Inlined is_demand_now(): a late-prefetch promotion flips
+                # a requester's is_prefetch after the entry was buffered,
+                # and the scheduler must honour it (see is_demand_now).
+                for request in entry.requesters:
+                    if not request.is_prefetch and not request.is_store:
+                        entry.demand = demand = True
+                        break
+            p = 0 if (demand_priority and demand) else 2
+            if banks[entry.bank].open_row != entry.row:
+                p += 1
+            if p < best_p or (p == best_p and entry.arrival < best_arrival):
+                best_p = p
+                best_arrival = entry.arrival
                 best_index = i
         return best_index
 
@@ -188,10 +208,13 @@ class DramChannel:
                 break
             entry = self.pending.pop(index)
             self._service(entry, max(self.next_pick_cycle, entry.ready_cycle))
-        completed = []
         heap = self._completing
+        if not heap or heap[0][0] > cycle:
+            return _NO_ENTRIES
+        completed = []
+        heappop = heapq.heappop
         while heap and heap[0][0] <= cycle:
-            done_cycle, _, entry = heapq.heappop(heap)
+            done_cycle, _, entry = heappop(heap)
             if not entry.is_store:
                 self._by_line.pop(entry.line_addr, None)
                 if self.l2 is not None:
@@ -225,23 +248,26 @@ class DramChannel:
 
     def next_event_cycle(self, cycle: int) -> Optional[int]:
         """Earliest future cycle at which this channel can make progress."""
-        candidates = []
-        if self._completing:
-            candidates.append(self._completing[0][0])
+        best: Optional[int] = self._completing[0][0] if self._completing else None
         if self.pending:
-            min_ready = None
+            min_ready: Optional[int] = None
             any_ready = False
             for entry in self.pending:
-                if entry.ready_cycle <= cycle:
+                ready = entry.ready_cycle
+                if ready <= cycle:
                     any_ready = True
                     break
-                if min_ready is None or entry.ready_cycle < min_ready:
-                    min_ready = entry.ready_cycle
+                if min_ready is None or ready < min_ready:
+                    min_ready = ready
             if any_ready:
-                candidates.append(max(cycle + 1, self.next_pick_cycle))
-            elif min_ready is not None:
-                candidates.append(min_ready)
-        return min(candidates) if candidates else None
+                pick = self.next_pick_cycle
+                if pick <= cycle:
+                    pick = cycle + 1
+                if best is None or pick < best:
+                    best = pick
+            elif min_ready is not None and (best is None or min_ready < best):
+                best = min_ready
+        return best
 
     @property
     def idle(self) -> bool:
@@ -285,16 +311,23 @@ class Dram:
         self.channels[channel].arrive(request, bank, row, cycle)
 
     def step(self, cycle: int) -> List[BufferEntry]:
+        """Advance every non-idle channel; return all completed entries."""
         completed: List[BufferEntry] = []
         for channel in self.channels:
-            completed.extend(channel.step(cycle))
+            if channel.pending or channel._completing:
+                done = channel.step(cycle)
+                if done:
+                    completed.extend(done)
         return completed
 
     def next_event_cycle(self, cycle: int) -> Optional[int]:
-        candidates = [
-            c for c in (ch.next_event_cycle(cycle) for ch in self.channels) if c is not None
-        ]
-        return min(candidates) if candidates else None
+        """Earliest future cycle at which any channel can make progress."""
+        best: Optional[int] = None
+        for channel in self.channels:
+            c = channel.next_event_cycle(cycle)
+            if c is not None and (best is None or c < best):
+                best = c
+        return best
 
     def inflight_requests(self) -> List[MemoryRequest]:
         """Every request buffered or completing in any channel (invariants)."""

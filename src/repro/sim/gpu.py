@@ -11,6 +11,7 @@ cycle-accurate ordering.
 from __future__ import annotations
 
 from collections import deque
+from time import perf_counter
 from typing import Callable, List, Optional, Sequence
 
 from repro.core.base import HardwarePrefetcher
@@ -26,6 +27,7 @@ from repro.sim.invariants import (
     invariants_enabled_from_env,
     snapshot_simulator,
 )
+from repro.sim.profiling import SimProfiler
 from repro.sim.stats import SimStats
 
 PrefetcherFactory = Callable[[int], Optional[HardwarePrefetcher]]
@@ -78,6 +80,7 @@ class GpuSimulator:
         config: GpuConfig,
         prefetcher_factory: Optional[PrefetcherFactory] = None,
         invariants: Optional[bool] = None,
+        profiler: Optional[SimProfiler] = None,
     ) -> None:
         """Build the machine.
 
@@ -86,6 +89,9 @@ class GpuSimulator:
             prefetcher_factory: Per-core hardware-prefetcher builder.
             invariants: Attach an :class:`InvariantChecker` to the main
                 loop.  ``None`` (default) defers to ``$REPRO_INVARIANTS``.
+            profiler: Attach a :class:`~repro.sim.profiling.SimProfiler`;
+                the run then records per-phase wall time and per-component
+                cycle activity.  ``None`` (default) disables profiling.
         """
         self.config = config
         factory = prefetcher_factory or (lambda core_id: None)
@@ -107,6 +113,10 @@ class GpuSimulator:
         self.invariants: Optional[InvariantChecker] = (
             InvariantChecker(self) if invariants else None
         )
+        self.profiler = profiler
+        if profiler is not None:
+            for core in self.cores:
+                core.profiler = profiler
 
     # ------------------------------------------------------------------
     # Workload setup
@@ -172,68 +182,166 @@ class GpuSimulator:
         cycle = self.cycle
         max_cycles = config.max_cycles
         checker = self.invariants
+        prof = self.profiler
+
+        # This loop is the simulator's hot path: bound methods are hoisted
+        # into locals, the event-candidate list is reused across
+        # iterations, and every profiler touch sits behind an ``is None``
+        # branch so an uninstrumented run pays (almost) nothing for the
+        # instrumentation points.
+        pop_core_arrivals = icnt.pop_core_arrivals
+        pop_memory_arrivals = icnt.pop_memory_arrivals
+        send_response = icnt.send_response
+        inject_requests = icnt.inject_requests
+        icnt_next_event = icnt.next_event_cycle
+        dram_arrive = dram.arrive
+        dram_step = dram.step
+        dram_next_event = dram.next_event_cycle
+        dispatch = self._dispatch
+        block_queues = self._block_queues
+        have_blocks = any(block_queues)
+        candidates: List[int] = []
+
+        if prof is not None:
+            prof_wall = prof.wall
+            prof_active = prof.active_cycles
+            timer = perf_counter
+            prof.start()
 
         while cycle < max_cycles:
+            if prof is not None:
+                prof.loop_iterations += 1
+                t_phase = timer()
             # 1. Deliver responses that reached their core.
-            for core_id, request in icnt.pop_core_arrivals(cycle):
-                cores[core_id].on_response(request, cycle)
+            responses = pop_core_arrivals(cycle)
+            if responses:
+                for core_id, request in responses:
+                    cores[core_id].on_response(request, cycle)
+            if prof is not None:
+                t_now = timer()
+                prof_wall["deliver_responses"] += t_now - t_phase
+                t_phase = t_now
+                if responses:
+                    prof_active["interconnect_response"] += 1
             # 2. Deliver requests that reached the memory controllers.
-            for request in icnt.pop_memory_arrivals(cycle):
-                dram.arrive(request, cycle)
+            requests_in = pop_memory_arrivals(cycle)
+            if requests_in:
+                for request in requests_in:
+                    dram_arrive(request, cycle)
+            if prof is not None:
+                t_now = timer()
+                prof_wall["deliver_requests"] += t_now - t_phase
+                t_phase = t_now
+                if requests_in:
+                    prof_active["interconnect_request"] += 1
             # 3. Advance DRAM; route completed reads back through the network.
-            for entry in dram.step(cycle):
-                if entry.is_store:
-                    continue
-                for request in entry.requesters:
-                    icnt.send_response(cycle, request.core_id, request)
+            completed = dram_step(cycle)
+            if completed:
+                for entry in completed:
+                    if entry.is_store:
+                        continue
+                    for request in entry.requesters:
+                        send_response(cycle, request.core_id, request)
+            if prof is not None:
+                t_now = timer()
+                prof_wall["dram"] += t_now - t_phase
+                t_phase = t_now
+                if completed:
+                    prof_active["dram"] += 1
             # 4. Periodic throttle / feedback updates.
             if throttling:
                 for core in cores:
                     if cycle >= core.throttle.next_update_cycle:
                         core.periodic_update(cycle)
-            # 5. Refill freed block slots.
-            self._dispatch()
+                if prof is not None:
+                    t_now = timer()
+                    prof_wall["throttle"] += t_now - t_phase
+                    t_phase = t_now
+            # 5. Refill freed block slots.  Queues only shrink during a
+            # run, so once drained the dispatch scan is skipped for good.
+            if have_blocks:
+                dispatch()
+                have_blocks = any(block_queues)
+                if prof is not None:
+                    t_now = timer()
+                    prof_wall["dispatch"] += t_now - t_phase
+                    t_phase = t_now
             # 6. Issue.
-            candidates: List[int] = []
+            candidates.clear()
+            issued_any = False
             for core in cores:
                 issued, retry = core.try_issue(cycle)
                 if issued:
+                    issued_any = True
                     candidates.append(core.port_free_cycle)
                 elif retry is not None:
                     candidates.append(retry)
+            if prof is not None:
+                t_now = timer()
+                prof_wall["issue"] += t_now - t_phase
+                t_phase = t_now
+                if issued_any:
+                    prof_active["core_issue"] += 1
+                injected_before = icnt.total_injected
             # 7. Inject requests into the network.
-            icnt.inject_requests(cycle, mrqs)
+            inject_requests(cycle, mrqs)
+            if prof is not None:
+                t_now = timer()
+                prof_wall["inject"] += t_now - t_phase
+                t_phase = t_now
+                if icnt.total_injected != injected_before:
+                    prof_active["mrq_inject"] += 1
 
             # 7b. Periodic integrity checks (opt-in; the machine state is
             # consistent here: all deliveries and injections for this
             # cycle have happened).
             if checker is not None:
                 checker.maybe_check(cycle)
+                if prof is not None:
+                    t_now = timer()
+                    prof_wall["invariants"] += t_now - t_phase
+                    t_phase = t_now
 
-            if self._finished():
-                break
+            if not have_blocks:
+                for core in cores:
+                    if not core.drained:
+                        break
+                else:
+                    break
 
             # 8. Find the next cycle where anything can happen.
-            event = icnt.next_event_cycle()
+            event = icnt_next_event()
             if event is not None:
                 candidates.append(event)
-            event = dram.next_event_cycle(cycle)
+            event = dram_next_event(cycle)
             if event is not None:
                 candidates.append(event)
-            if any(mrq.has_sendable() for mrq in mrqs):
-                candidates.append(cycle + 1)
+            for mrq in mrqs:
+                if mrq._send_queue:
+                    candidates.append(cycle + 1)
+                    break
             if throttling:
-                candidates.append(min(c.throttle.next_update_cycle for c in cores))
+                next_update = cores[0].throttle.next_update_cycle
+                for core in cores:
+                    c = core.throttle.next_update_cycle
+                    if c < next_update:
+                        next_update = c
+                candidates.append(next_update)
             if not candidates:
                 raise DeadlockError(
                     f"simulator deadlock at cycle {cycle}: "
                     + diagnose_no_progress(self, cycle),
                     snapshot=snapshot_simulator(self, cycle),
                 )
-            cycle = max(cycle + 1, min(candidates))
+            event = min(candidates)
+            cycle = cycle + 1 if event <= cycle else event
+            if prof is not None:
+                prof_wall["event_skip"] += timer() - t_phase
 
         self.cycle = cycle
         truncated = cycle >= max_cycles and not self._finished()
+        if prof is not None:
+            prof.finish(cycle)
         if checker is not None:
             checker.check_final(cycle, truncated=truncated)
         stats = self._collect_stats(cycle)
@@ -290,8 +398,9 @@ def run_workload(
     prefetcher_factory: Optional[PrefetcherFactory] = None,
     invariants: Optional[bool] = None,
     strict: bool = False,
+    profiler: Optional[SimProfiler] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a simulator, load a workload, run it."""
-    sim = GpuSimulator(config, prefetcher_factory, invariants=invariants)
+    sim = GpuSimulator(config, prefetcher_factory, invariants=invariants, profiler=profiler)
     sim.load_workload(blocks, max_blocks_per_core)
     return sim.run(strict=strict)

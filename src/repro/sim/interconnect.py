@@ -23,6 +23,9 @@ from repro.sim.mrq import MemoryRequestQueue
 
 _seq = itertools.count()
 
+#: Shared immutable "nothing arrived" result for the pop fast paths.
+_NO_ARRIVALS: Tuple[()] = ()
+
 
 class Interconnect:
     """Fixed-latency, injection-limited request/response network."""
@@ -52,30 +55,34 @@ class Interconnect:
             self._credit + elapsed * self.slots_per_cycle,
             float(self.slots_per_cycle) * max(1, elapsed),
         )
+        # Loads and stores share the request pipe: stores traverse the
+        # network and consume DRAM write bandwidth but carry no response.
+        arrival = cycle + self.config.latency
+        heappush = heapq.heappush
+        to_memory = self._to_memory
         while self._credit >= 1.0:
             request = self._pick_next(cycle, mrqs)
             if request is None:
                 break
             self._credit -= 1.0
             self.total_injected += 1
-            if not request.is_store:
-                arrival = cycle + self.config.latency
-                heapq.heappush(self._to_memory, (arrival, next(_seq), request))
-            else:
-                # Stores still traverse the network and consume DRAM write
-                # bandwidth; they carry no response.
-                arrival = cycle + self.config.latency
-                heapq.heappush(self._to_memory, (arrival, next(_seq), request))
+            heappush(to_memory, (arrival, next(_seq), request))
 
     def _pick_next(
         self, cycle: int, mrqs: List[MemoryRequestQueue]
     ) -> Optional[MemoryRequest]:
-        for offset in range(self.num_cores):
-            core_id = (self._rr_pointer + offset) % self.num_cores
+        """Round-robin scan of the cores' MRQs for a sendable request."""
+        num_cores = self.num_cores
+        core_id = self._rr_pointer
+        for _ in range(num_cores):
+            if core_id >= num_cores:
+                core_id -= num_cores
             request = mrqs[core_id].pop_sendable(cycle)
             if request is not None:
-                self._rr_pointer = (core_id + 1) % self.num_cores
+                core_id += 1
+                self._rr_pointer = core_id if core_id < num_cores else 0
                 return request
+            core_id += 1
         return None
 
     def send_response(self, cycle: int, core_id: int, request: MemoryRequest) -> None:
@@ -85,18 +92,24 @@ class Interconnect:
 
     def pop_memory_arrivals(self, cycle: int) -> List[MemoryRequest]:
         """Requests reaching the memory controllers at or before ``cycle``."""
-        arrivals = []
         heap = self._to_memory
+        if not heap or heap[0][0] > cycle:
+            return _NO_ARRIVALS
+        arrivals = []
+        heappop = heapq.heappop
         while heap and heap[0][0] <= cycle:
-            arrivals.append(heapq.heappop(heap)[2])
+            arrivals.append(heappop(heap)[2])
         return arrivals
 
     def pop_core_arrivals(self, cycle: int) -> List[Tuple[int, MemoryRequest]]:
         """(core_id, request) responses arriving at or before ``cycle``."""
-        arrivals = []
         heap = self._to_core
+        if not heap or heap[0][0] > cycle:
+            return _NO_ARRIVALS
+        arrivals = []
+        heappop = heapq.heappop
         while heap and heap[0][0] <= cycle:
-            _, _, core_id, request = heapq.heappop(heap)
+            _, _, core_id, request = heappop(heap)
             arrivals.append((core_id, request))
         return arrivals
 
@@ -112,12 +125,17 @@ class Interconnect:
 
     def next_event_cycle(self) -> Optional[int]:
         """Earliest in-flight arrival, for the simulator's cycle skipping."""
-        candidates = []
-        if self._to_memory:
-            candidates.append(self._to_memory[0][0])
-        if self._to_core:
-            candidates.append(self._to_core[0][0])
-        return min(candidates) if candidates else None
+        to_memory = self._to_memory
+        to_core = self._to_core
+        if to_memory:
+            a = to_memory[0][0]
+            if to_core:
+                b = to_core[0][0]
+                return a if a < b else b
+            return a
+        if to_core:
+            return to_core[0][0]
+        return None
 
     @property
     def idle(self) -> bool:

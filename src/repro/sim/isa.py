@@ -58,9 +58,18 @@ class WarpInstruction:
         base_addr: For memory ops, the byte address of lane 0; hardware
             prefetchers train on this address.
         space: Memory space for memory ops.
+        is_memory: Whether this instruction accesses memory.  Precomputed
+            at construction (records are immutable once built) so the
+            issue loop reads a plain attribute instead of a property.
+        global_memory: ``is_memory and space == GLOBAL`` — the predicate
+            the issue path tests for every instruction of every ready
+            warp, precomputed for the same reason.
     """
 
-    __slots__ = ("op", "pc", "wait_tokens", "token", "lines", "base_addr", "space")
+    __slots__ = (
+        "op", "pc", "wait_tokens", "token", "lines", "base_addr", "space",
+        "is_memory", "global_memory",
+    )
 
     def __init__(
         self,
@@ -79,11 +88,8 @@ class WarpInstruction:
         self.lines = lines
         self.base_addr = base_addr
         self.space = space
-
-    @property
-    def is_memory(self) -> bool:
-        """Whether this instruction accesses memory."""
-        return self.op in MEMORY_OPS
+        self.is_memory = op in MEMORY_OPS
+        self.global_memory = self.is_memory and space == MemSpace.GLOBAL
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = [f"{self.op.name} pc=0x{self.pc:x}"]

@@ -22,6 +22,14 @@ from repro.sim.memory_request import MemoryRequest
 class MemoryRequestQueue:
     """MRQ / MSHR file for one core."""
 
+    __slots__ = (
+        "core_id", "size", "_entries", "_send_queue",
+        "window_merges", "window_requests",
+        "total_merges", "total_requests", "total_created", "total_completed",
+        "total_stores_sent", "total_demand_on_prefetch_merges",
+        "total_prefetch_dropped_full",
+    )
+
     def __init__(self, core_id: int, size: int) -> None:
         self.core_id = core_id
         self.size = size

@@ -26,6 +26,7 @@ class Warp:
         "tokens_done",
         "_pending_lines",
         "finish_cycle",
+        "finished",
     )
 
     def __init__(self, warp_id: int, block_id: int, stream: List[WarpInstruction]) -> None:
@@ -37,27 +38,29 @@ class Warp:
         self.tokens_done: Set[int] = set()
         self._pending_lines: Dict[int, int] = {}
         self.finish_cycle = -1
-
-    @property
-    def finished(self) -> bool:
-        return self.pc_index >= len(self.stream)
+        #: Kept as a plain attribute (not a property over ``pc_index``):
+        #: the issue loop and the core's drain check read it once per warp
+        #: per eventful cycle, making it the single hottest attribute in
+        #: the simulator.  Only :meth:`advance` moves ``pc_index``, so it
+        #: is updated there.
+        self.finished = not stream
 
     def peek(self) -> Optional[WarpInstruction]:
         """The next instruction to issue, or None when finished."""
-        if self.pc_index >= len(self.stream):
+        if self.finished:
             return None
         return self.stream[self.pc_index]
 
     def deps_ready(self, inst: WarpInstruction) -> bool:
         """True when every load token the instruction waits on is complete."""
-        if not inst.wait_tokens:
+        wait = inst.wait_tokens
+        if not wait:
             return True
-        done = self.tokens_done
-        return all(token in done for token in inst.wait_tokens)
+        return self.tokens_done.issuperset(wait)
 
     def issuable(self, cycle: int) -> bool:
         """True when the warp can issue its next instruction this cycle."""
-        if self.pc_index >= len(self.stream) or self.ready_cycle > cycle:
+        if self.finished or self.ready_cycle > cycle:
             return False
         return self.deps_ready(self.stream[self.pc_index])
 
@@ -94,8 +97,10 @@ class Warp:
         ``next_ready``."""
         self.pc_index += 1
         self.ready_cycle = next_ready
-        if self.pc_index >= len(self.stream) and self.finish_cycle < 0:
-            self.finish_cycle = cycle
+        if self.pc_index >= len(self.stream):
+            self.finished = True
+            if self.finish_cycle < 0:
+                self.finish_cycle = cycle
 
     def outstanding_loads(self) -> int:
         return len(self._pending_lines)

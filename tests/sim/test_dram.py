@@ -137,7 +137,7 @@ class TestChannelScheduling:
         cfg = make_config(pipeline_latency=500)
         ch = DramChannel(0, cfg)
         ch.arrive(demand(0), 0, 0, 0)
-        assert ch.step(100) == []  # still traversing the pipeline
+        assert not ch.step(100)  # still traversing the pipeline
         done = drain(ch)
         assert len(done) == 1
 

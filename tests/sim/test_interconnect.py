@@ -21,7 +21,7 @@ def test_fixed_latency_delivery():
     mrqs = make_mrqs()
     fill_demands(mrqs[0], 1)
     icnt.inject_requests(1, mrqs)
-    assert icnt.pop_memory_arrivals(20) == []
+    assert not icnt.pop_memory_arrivals(20)
     arrivals = icnt.pop_memory_arrivals(21)
     assert len(arrivals) == 1
 
@@ -71,7 +71,7 @@ def test_response_path():
     fill_demands(mrqs[3], 1)
     request = mrqs[3].pop_sendable(0)
     icnt.send_response(100, 3, request)
-    assert icnt.pop_core_arrivals(119) == []
+    assert not icnt.pop_core_arrivals(119)
     arrivals = icnt.pop_core_arrivals(120)
     assert arrivals == [(3, request)]
 
