@@ -28,6 +28,12 @@ sweep flags:
   one) runs have failed.
 * ``--manifest FILE`` — JSONL checkpoint journal; re-invoking with the
   same manifest resumes an interrupted sweep.
+* ``--checkpoint-dir DIR`` — periodic simulator snapshots into DIR
+  (equivalent to ``REPRO_CHECKPOINT_DIR=DIR``) in this process and all
+  sweep workers; a crashed or interrupted run re-invoked with the same
+  directory resumes mid-simulation, bit-identically.
+* ``--checkpoint-interval N`` — cycles between snapshots (equivalent to
+  ``REPRO_CHECKPOINT_INTERVAL=N``; default 50000).
 * ``--invariants`` — enable the simulation integrity checker
   (equivalent to ``REPRO_INVARIANTS=1``) in this process and all sweep
   workers.
@@ -53,7 +59,10 @@ from repro.harness.report import format_speedup_figure, format_sweep, format_tab
 from repro.harness.runner import (
     HARDWARE_SCHEMES,
     ExperimentRunner,
+    make_spec,
+    run_spec,
 )
+from repro.sim.checkpoint import CHECKPOINT_DIR_ENV, CHECKPOINT_INTERVAL_ENV
 from repro.sim.invariants import INVARIANTS_ENV
 from repro.sim.profiling import PROFILE_DIR_ENV
 from repro.trace.benchmarks import COMPUTE_BENCHMARKS, MEMORY_BENCHMARKS
@@ -95,6 +104,18 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
         help="JSONL checkpoint journal for resumable sweeps",
     )
     parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write periodic simulator snapshots into DIR "
+             "(REPRO_CHECKPOINT_DIR=DIR) in this process and all sweep "
+             "workers; re-invoking with the same DIR resumes interrupted "
+             "runs mid-simulation",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="N",
+        help="cycles between simulator snapshots "
+             "(REPRO_CHECKPOINT_INTERVAL=N; default: 50000)",
+    )
+    parser.add_argument(
         "--invariants", action="store_true",
         help="enable simulation invariant checking (REPRO_INVARIANTS=1) "
              "in this process and all sweep workers",
@@ -113,6 +134,10 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         os.environ[INVARIANTS_ENV] = "1"
     if args.profile:
         os.environ[PROFILE_DIR_ENV] = args.profile
+    if args.checkpoint_dir:
+        os.environ[CHECKPOINT_DIR_ENV] = args.checkpoint_dir
+    if args.checkpoint_interval is not None:
+        os.environ[CHECKPOINT_INTERVAL_ENV] = str(args.checkpoint_interval)
     return ExperimentRunner(
         scale=args.scale,
         jobs=args.jobs,
@@ -147,6 +172,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--perfect-memory", action="store_true")
     run_p.add_argument("--scale", type=float, default=1.0)
     run_p.add_argument("--json", action="store_true", help="print stats as JSON")
+    run_p.add_argument(
+        "--resume-from", default=None, metavar="FILE",
+        help="resume the simulation from a checkpoint snapshot written by "
+             "an earlier invocation of the same run (the snapshot's "
+             "fingerprint must match this command's flags); the run keeps "
+             "re-snapshotting to FILE and removes it on completion",
+    )
     _add_sweep_flags(run_p)
 
     cmp_p = sub.add_parser("compare", help="compare schemes on one benchmark")
@@ -221,10 +253,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         degree=args.degree,
         perfect_memory=args.perfect_memory,
     )
-    runner.warm([{"benchmark": args.benchmark},
-                 {"benchmark": args.benchmark, **variant}])
-    baseline = runner.run(args.benchmark)
-    result = runner.run(args.benchmark, **variant)
+    if args.resume_from:
+        # Explicit mid-simulation resume: execute the variant run directly
+        # (bypassing the result cache, which would short-circuit it) so
+        # the snapshot at --resume-from is actually consumed.
+        spec = make_spec(args.benchmark, scale=args.scale, **variant)
+        result = run_spec(spec, checkpoint_path=args.resume_from)
+        baseline = runner.run(args.benchmark)
+    else:
+        runner.warm([{"benchmark": args.benchmark},
+                     {"benchmark": args.benchmark, **variant}])
+        baseline = runner.run(args.benchmark)
+        result = runner.run(args.benchmark, **variant)
     stats = result.stats.as_dict()
     stats["speedup_over_baseline"] = result.speedup_over(baseline)
     if args.json:

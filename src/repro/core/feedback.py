@@ -52,6 +52,17 @@ class FeedbackGhbPrefetcher(GhbPrefetcher):
             self.degree = max(self.min_degree, self.degree - 1)
         self.degree_history.append(self.degree)
 
+    def state_dict(self) -> Dict:
+        """Serialize GHB state plus the feedback degree trajectory."""
+        state = super().state_dict()
+        state["degree_history"] = list(self.degree_history)
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore from :meth:`state_dict` output."""
+        super().load_state_dict(state)
+        self.degree_history = list(state["degree_history"])
+
 
 class LatenessThrottledStridePc(StridePcPrefetcher):
     """Warp-id enhanced StridePC with lateness-driven throttling
@@ -98,3 +109,18 @@ class LatenessThrottledStridePc(StridePcPrefetcher):
             self.dropped += len(targets)
             return []
         return targets
+
+    def state_dict(self) -> Dict:
+        """Serialize stride state plus the lateness-throttle position."""
+        state = super().state_dict()
+        state["drop_fraction"] = self.drop_fraction
+        state["counter"] = self._counter
+        state["dropped"] = self.dropped
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore from :meth:`state_dict` output."""
+        super().load_state_dict(state)
+        self.drop_fraction = state["drop_fraction"]
+        self._counter = state["counter"]
+        self.dropped = state["dropped"]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from collections import OrderedDict
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 from repro.core.base import HardwarePrefetcher
 
@@ -35,6 +35,17 @@ WINDOW_LINES = 16
 _ids = itertools.count()
 
 
+def advance_ids(floor: int) -> None:
+    """Ensure future stream ids exceed ``floor`` (checkpoint restore).
+
+    Stream ids key the LRU map and the spatial index, so ids allocated
+    after a restore must never collide with a restored stream's id.
+    """
+    global _ids
+    current = next(_ids)
+    _ids = itertools.count(max(current, floor + 1))
+
+
 class StreamEntry:
     """One stream-tracking entry."""
 
@@ -47,6 +58,29 @@ class StreamEntry:
         self.confirmations = 0
         self.monitoring = False
         self.warp_id = warp_id
+
+    def state_dict(self) -> List:
+        """Serialize the entry (the sid rides along as identity)."""
+        return [
+            self.sid,
+            self.anchor_line,
+            self.direction,
+            self.confirmations,
+            self.monitoring,
+            self.warp_id,
+        ]
+
+    @classmethod
+    def from_state(cls, state: List) -> "StreamEntry":
+        """Rebuild an entry with its recorded sid (no counter draw)."""
+        entry = cls.__new__(cls)
+        entry.sid = state[0]
+        entry.anchor_line = state[1]
+        entry.direction = state[2]
+        entry.confirmations = state[3]
+        entry.monitoring = state[4]
+        entry.warp_id = state[5]
+        return entry
 
 
 class StreamPrefetcher(HardwarePrefetcher):
@@ -65,8 +99,12 @@ class StreamPrefetcher(HardwarePrefetcher):
         self.capacity = entries
         # LRU order: sid -> entry, least recent first.
         self._lru: "OrderedDict[int, StreamEntry]" = OrderedDict()
-        # Spatial index: bucket -> set of sids anchored in that bucket.
-        self._buckets: Dict[int, Set[int]] = {}
+        # Spatial index: bucket -> sids anchored in that bucket, as an
+        # insertion-ordered dict-of-keys rather than a set.  The probe in
+        # :meth:`_find_stream` breaks equal-gap ties by iteration order,
+        # and insertion order (unlike hash order) survives a
+        # checkpoint/restore round trip exactly.
+        self._buckets: Dict[int, Dict[int, None]] = {}
 
     def __len__(self) -> int:
         return len(self._lru)
@@ -76,13 +114,13 @@ class StreamPrefetcher(HardwarePrefetcher):
         return line // WINDOW_LINES
 
     def _index_add(self, entry: StreamEntry) -> None:
-        self._buckets.setdefault(self._bucket(entry.anchor_line), set()).add(entry.sid)
+        self._buckets.setdefault(self._bucket(entry.anchor_line), {})[entry.sid] = None
 
     def _index_remove(self, entry: StreamEntry) -> None:
         bucket = self._bucket(entry.anchor_line)
         sids = self._buckets.get(bucket)
         if sids is not None:
-            sids.discard(entry.sid)
+            sids.pop(entry.sid, None)
             if not sids:
                 del self._buckets[bucket]
 
@@ -158,3 +196,33 @@ class StreamPrefetcher(HardwarePrefetcher):
         super().reset()
         self._lru.clear()
         self._buckets.clear()
+
+    def state_dict(self) -> Dict:
+        """Serialize streams in LRU order plus the spatial index order.
+
+        Both the LRU map and each bucket's sid order are preserved
+        verbatim — LRU order decides victims and bucket order decides
+        equal-gap probe ties, so both are behavioral state.
+        """
+        state = super().state_dict()
+        state["streams"] = [entry.state_dict() for entry in self._lru.values()]
+        state["buckets"] = [
+            [bucket, list(sids)] for bucket, sids in self._buckets.items()
+        ]
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore from :meth:`state_dict`; advances the sid counter."""
+        super().load_state_dict(state)
+        self._lru = OrderedDict()
+        max_sid = -1
+        for entry_state in state["streams"]:
+            entry = StreamEntry.from_state(entry_state)
+            self._lru[entry.sid] = entry
+            if entry.sid > max_sid:
+                max_sid = entry.sid
+        self._buckets = {
+            bucket: {sid: None for sid in sids}
+            for bucket, sids in state["buckets"]
+        }
+        advance_ids(max_sid)

@@ -223,13 +223,17 @@ def load_document(path: Union[str, Path]) -> Optional[Dict[str, object]]:
 
 
 def write_document(doc: Dict[str, object], path: Union[str, Path]) -> Path:
-    """Write a BENCH_perf document as stable, diff-friendly JSON."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    return path
+    """Write a BENCH_perf document as stable, diff-friendly JSON.
+
+    The write is atomic (temp file + ``os.replace``, the result-cache
+    pattern): ``BENCH_perf.json`` is a committed artifact, and a crash
+    mid-write must leave the previous intact document, not a torn one.
+    """
+    from repro.sim.checkpoint import atomic_write_json
+
+    return atomic_write_json(
+        path, doc, indent=2, sort_keys=True, trailing_newline=True
+    )
 
 
 def format_summary(doc: Dict[str, object]) -> str:

@@ -40,7 +40,15 @@ from repro.harness.sweep import (
     build_result_cache,
     fingerprint,
 )
+from repro.sim.checkpoint import (
+    attach_checkpointing,
+    checkpoint_dir_from_env,
+    checkpoint_interval_from_env,
+    load_checkpoint,
+    restore_simulator,
+)
 from repro.sim.config import GpuConfig, ThrottleConfig, baseline_config
+from repro.sim.errors import CheckpointError, write_failure_report
 from repro.sim.gpu import GpuSimulator, SimulationResult
 from repro.sim.profiling import SimProfiler, profile_dir_from_env
 from repro.trace.benchmarks import get_benchmark
@@ -174,8 +182,19 @@ def _simulate(
     perfect_memory: bool,
     strict: bool = False,
     profiler: Optional[SimProfiler] = None,
+    checkpoint_path: Union[str, Path, None] = None,
+    checkpoint_interval: int = 0,
+    checkpoint_tag: str = "",
 ) -> SimulationResult:
-    """The single execution path behind every run (serial, pooled, cached)."""
+    """The single execution path behind every run (serial, pooled, cached).
+
+    With ``checkpoint_path`` set, the run resumes from a valid snapshot
+    at that path when one exists (a corrupt or mismatched snapshot is
+    reported and the run falls back to a cold start), auto-snapshots
+    every ``checkpoint_interval`` cycles while running, and removes the
+    snapshot once the run completes (a finished run needs no resume
+    point, and a stale snapshot must not shadow a future re-run).
+    """
     if perfect_memory:
         cfg = cfg.replace(perfect_memory=True)
     if throttle != cfg.throttle.enabled:
@@ -184,17 +203,70 @@ def _simulate(
         (lambda core_id: builder(distance, degree)) if builder is not None else None
     )
     workload = generate_workload(kernel, swp=swp)
-    sim = GpuSimulator(cfg, factory, profiler=profiler)
-    sim.load_workload(workload.blocks, workload.max_blocks_per_core)
+    sim: Optional[GpuSimulator] = None
+    if checkpoint_path is not None:
+        checkpoint_path = Path(checkpoint_path)
+        if checkpoint_path.exists():
+            try:
+                envelope = load_checkpoint(
+                    checkpoint_path, fingerprint=checkpoint_tag, config=cfg
+                )
+                sim = restore_simulator(
+                    envelope, cfg, factory,
+                    workload.blocks, workload.max_blocks_per_core,
+                    profiler=profiler,
+                )
+            except CheckpointError as exc:
+                # Recoverable: leave a structured trace of the rejected
+                # snapshot, drop it, and cold-start the run.
+                try:
+                    write_failure_report(
+                        checkpoint_path.with_suffix(".failure.json"),
+                        exc.to_report(),
+                    )
+                    checkpoint_path.unlink(missing_ok=True)
+                except OSError:
+                    pass
+                warnings.warn(
+                    f"discarding invalid checkpoint and cold-starting: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                sim = None
+    if sim is None:
+        sim = GpuSimulator(cfg, factory, profiler=profiler)
+        sim.load_workload(workload.blocks, workload.max_blocks_per_core)
+    if checkpoint_path is not None and checkpoint_interval > 0:
+        attach_checkpointing(
+            sim, checkpoint_path, checkpoint_interval, fingerprint=checkpoint_tag
+        )
     result = sim.run(strict=strict)
+    if checkpoint_path is not None:
+        try:
+            Path(checkpoint_path).unlink(missing_ok=True)
+        except OSError:
+            pass
     result.stats.benchmark = kernel.name
     return result
+
+
+def checkpoint_path_for(spec: RunSpec, directory: Union[str, Path]) -> Path:
+    """Canonical auto-checkpoint location for a spec under ``directory``.
+
+    Named ``<benchmark>-<fingerprint[:12]>.ckpt.json`` — the same key
+    prefix as cached results and profiles, so a run's artifacts
+    correlate — and deterministic across processes, which is what lets a
+    retried worker find the snapshot its crashed predecessor left.
+    """
+    return Path(directory) / f"{spec.benchmark}-{fingerprint(spec)[:12]}.ckpt.json"
 
 
 def run_spec(
     spec: RunSpec,
     strict: bool = True,
     profile_path: Union[str, Path, None] = None,
+    checkpoint_path: Union[str, Path, None] = None,
+    checkpoint_interval: Optional[int] = None,
 ) -> SimulationResult:
     """Execute one fully-normalized :class:`RunSpec`.
 
@@ -215,18 +287,41 @@ def run_spec(
             (the sweep engine's cache key prefix, so profiles and cached
             results correlate).  Profiling never changes the simulated
             statistics — the determinism suite asserts this.
+        checkpoint_path: Simulator snapshot location (see
+            :mod:`repro.sim.checkpoint`).  When the file holds a valid
+            snapshot of *this* spec the run resumes from it
+            (bit-identically); either way the run re-snapshots there
+            periodically and removes the file on completion.  ``None``
+            (default) defers to ``$REPRO_CHECKPOINT_DIR`` via
+            :func:`checkpoint_path_for`.  A corrupt or mismatched
+            snapshot is reported (``<path>.failure.json``), discarded,
+            and the run cold-starts.  Checkpointing never changes the
+            simulated statistics — the checkpoint suite asserts this.
+        checkpoint_interval: Cycles between auto-snapshots; ``None``
+            defers to ``$REPRO_CHECKPOINT_INTERVAL`` (default
+            :data:`~repro.sim.checkpoint.DEFAULT_CHECKPOINT_INTERVAL`).
     """
     kernel = get_benchmark(spec.benchmark, scale=spec.scale)
     builder = HARDWARE_SCHEMES[spec.hardware]
+    key = fingerprint(spec)
     if profile_path is None:
         profile_dir = profile_dir_from_env()
         if profile_dir is not None:
-            profile_path = profile_dir / f"{spec.benchmark}-{fingerprint(spec)[:12]}.json"
+            profile_path = profile_dir / f"{spec.benchmark}-{key[:12]}.json"
     profiler = SimProfiler() if profile_path is not None else None
+    if checkpoint_path is None:
+        checkpoint_dir = checkpoint_dir_from_env()
+        if checkpoint_dir is not None:
+            checkpoint_path = checkpoint_path_for(spec, checkpoint_dir)
+    if checkpoint_interval is None:
+        checkpoint_interval = checkpoint_interval_from_env()
     result = _simulate(
         kernel, spec.software, builder, spec.distance, spec.degree,
         spec.config, spec.throttle, spec.perfect_memory, strict=strict,
         profiler=profiler,
+        checkpoint_path=checkpoint_path,
+        checkpoint_interval=checkpoint_interval,
+        checkpoint_tag=key,
     )
     if profiler is not None:
         profiler.benchmark = spec.benchmark

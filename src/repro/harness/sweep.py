@@ -36,6 +36,13 @@ Fault-tolerance model (the integrity layer of the harness):
   every completed run is journaled (append-only JSONL); an interrupted
   sweep re-invoked with the same manifest resumes from partial progress
   even without a result cache.
+* **Mid-run crash recovery.**  With ``$REPRO_CHECKPOINT_DIR`` exported
+  (see :mod:`repro.sim.checkpoint`), every worker snapshots its
+  simulator periodically and :func:`repro.harness.runner.run_spec`
+  resumes from the newest valid snapshot, so a crashed or deadline-hit
+  worker's retry continues from the last checkpoint instead of
+  restarting at cycle 0 — and deadline hits become retryable, since
+  each attempt makes forward progress.
 * **Failure budgets.**  ``max_failures`` aborts the sweep once too many
   runs fail (``fail_fast`` is the 1-failure special case); unexecuted
   runs are recorded as ``aborted`` failures, so callers always receive
@@ -83,6 +90,7 @@ from typing import (
     Union,
 )
 
+from repro.sim.checkpoint import checkpoint_dir_from_env
 from repro.sim.config import GpuConfig
 from repro.sim.errors import (
     FAILURE_REPORT_SCHEMA,
@@ -345,14 +353,23 @@ class SweepManifest:
         self.path = Path(path)
 
     def load(self) -> Dict[str, Dict]:
-        """Latest valid record per key; empty when the journal is absent."""
+        """Latest valid record per key; empty when the journal is absent.
+
+        The journal is read as bytes and decoded per line: a write torn
+        mid-way through a multi-byte UTF-8 sequence must only cost the
+        torn line, not (via a file-level ``UnicodeDecodeError``) the
+        whole journal.
+        """
         entries: Dict[str, Dict] = {}
         try:
-            text = self.path.read_text(encoding="utf-8")
+            raw = self.path.read_bytes()
         except (FileNotFoundError, OSError):
             return entries
-        for line in text.splitlines():
-            line = line.strip()
+        for line_bytes in raw.splitlines():
+            try:
+                line = line_bytes.decode("utf-8").strip()
+            except UnicodeDecodeError:
+                continue  # torn mid-character by an interrupted write
             if not line:
                 continue
             try:
@@ -374,6 +391,12 @@ class SweepManifest:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             with open(self.path, "a", encoding="utf-8") as fh:
                 fh.write(json.dumps(record, sort_keys=True) + "\n")
+                # Push the record through to stable storage before the
+                # sweep moves on: a process killed right after this call
+                # must find the line intact on resume, not sitting in a
+                # userspace buffer that died with the process.
+                fh.flush()
+                os.fsync(fh.fileno())
         except OSError:
             pass  # journaling is best-effort, like the result cache
 
@@ -761,6 +784,10 @@ class SweepEngine:
         executors: List[ProcessPoolExecutor] = []
         executor: Optional[ProcessPoolExecutor] = None
         lost_slots = 0
+        # With $REPRO_CHECKPOINT_DIR exported, every worker checkpoints
+        # its run periodically and run_spec() resumes from the newest
+        # valid snapshot — which makes deadline hits worth retrying.
+        resumable = checkpoint_dir_from_env() is not None
 
         def fresh_executor() -> ProcessPoolExecutor:
             nonlocal lost_slots
@@ -871,6 +898,20 @@ class SweepEngine:
                         # Already executing in a worker we cannot reclaim:
                         # write the slot off.
                         lost_slots += 1
+                    if resumable and run.attempt < self.retries:
+                        # With auto-checkpointing on, the abandoned worker
+                        # has been leaving snapshots behind; a fresh
+                        # attempt resumes from the newest one instead of
+                        # restarting at cycle 0, so each retry makes
+                        # forward progress even against a too-tight
+                        # deadline.
+                        run.attempt += 1
+                        self.retried += 1
+                        run.not_before = now + (
+                            self.retry_backoff * 2 ** (run.attempt - 1)
+                        )
+                        work.append(run)
+                        continue
                     self._record_failure(
                         run.key, run.spec, "timeout", None, outcomes,
                         message=(

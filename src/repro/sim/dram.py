@@ -30,6 +30,18 @@ _seq = itertools.count()
 _NO_ENTRIES: Tuple[()] = ()
 
 
+def advance_seq(floor: int) -> None:
+    """Ensure future completion-heap sequence numbers exceed ``floor``.
+
+    Restored ``_completing`` tuples keep their recorded tiebreakers, so
+    entries serviced after a resume must draw strictly larger ones to
+    preserve same-cycle completion ordering against restored entries.
+    """
+    global _seq
+    current = next(_seq)
+    _seq = itertools.count(max(current, floor + 1))
+
+
 class BufferEntry:
     """One line-sized transaction in a channel's request buffer.
 
@@ -68,6 +80,35 @@ class BufferEntry:
         self.requesters.append(request)
         if request.is_demand:
             self.demand = True
+
+    def state_dict(self) -> Dict:
+        """Serialize the entry; requesters referenced by rid."""
+        return {
+            "line_addr": self.line_addr,
+            "bank": self.bank,
+            "row": self.row,
+            "requesters": [request.rid for request in self.requesters],
+            "is_store": self.is_store,
+            "arrival": self.arrival,
+            "ready_cycle": self.ready_cycle,
+            "demand": self.demand,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: Dict, requests: Dict[int, MemoryRequest]
+    ) -> "BufferEntry":
+        """Rebuild an entry, rewiring requesters to shared request objects."""
+        entry = cls.__new__(cls)
+        entry.line_addr = state["line_addr"]
+        entry.bank = state["bank"]
+        entry.row = state["row"]
+        entry.requesters = [requests[rid] for rid in state["requesters"]]
+        entry.is_store = state["is_store"]
+        entry.arrival = state["arrival"]
+        entry.ready_cycle = state["ready_cycle"]
+        entry.demand = state["demand"]
+        return entry
 
     def is_demand_now(self) -> bool:
         """Current priority class of this entry.
@@ -273,6 +314,67 @@ class DramChannel:
     def idle(self) -> bool:
         return not self.pending and not self._completing
 
+    def state_dict(self) -> Dict:
+        """Serialize channel state; buffer entries referenced by local id.
+
+        ``pending`` and ``_completing`` own the entries; ``_by_line``
+        aliases them, so entries are enumerated once (pending first, then
+        the completion heap in list order) and every container stores the
+        entry's index into that enumeration.
+        """
+        entries: List[BufferEntry] = list(self.pending)
+        entries.extend(item[2] for item in self._completing)
+        eids = {id(entry): eid for eid, entry in enumerate(entries)}
+        return {
+            "banks": [
+                [bank.row_ready_cycle, bank.open_row] for bank in self.banks
+            ],
+            "entries": [entry.state_dict() for entry in entries],
+            "num_pending": len(self.pending),
+            "completing": [
+                [done, seq, eids[id(entry)]]
+                for done, seq, entry in self._completing
+            ],
+            "by_line": [
+                [line, eids[id(entry)]] for line, entry in self._by_line.items()
+            ],
+            "bus_busy_until": self.bus_busy_until,
+            "next_pick_cycle": self.next_pick_cycle,
+            "l2": self.l2.state_dict() if self.l2 is not None else None,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+            "lines_transferred": self.lines_transferred,
+            "inter_core_merges": self.inter_core_merges,
+            "l2_hits": self.l2_hits,
+            "l2_misses": self.l2_misses,
+        }
+
+    def load_state_dict(self, state: Dict, requests: Dict[int, MemoryRequest]) -> None:
+        """Restore from :meth:`state_dict`, preserving entry aliasing."""
+        for bank, (row_ready_cycle, open_row) in zip(self.banks, state["banks"]):
+            bank.row_ready_cycle = row_ready_cycle
+            bank.open_row = open_row
+        entries = [
+            BufferEntry.from_state(entry_state, requests)
+            for entry_state in state["entries"]
+        ]
+        self.pending = entries[: state["num_pending"]]
+        self._completing = [
+            (done, seq, entries[eid]) for done, seq, eid in state["completing"]
+        ]
+        heapq.heapify(self._completing)
+        self._by_line = {line: entries[eid] for line, eid in state["by_line"]}
+        self.bus_busy_until = state["bus_busy_until"]
+        self.next_pick_cycle = state["next_pick_cycle"]
+        if self.l2 is not None and state["l2"] is not None:
+            self.l2.load_state_dict(state["l2"])
+        self.row_hits = state["row_hits"]
+        self.row_misses = state["row_misses"]
+        self.lines_transferred = state["lines_transferred"]
+        self.inter_core_merges = state["inter_core_merges"]
+        self.l2_hits = state["l2_hits"]
+        self.l2_misses = state["l2_misses"]
+
 
 class Dram:
     """The full DRAM subsystem: address mapping plus all channels.
@@ -342,6 +444,20 @@ class Dram:
     @property
     def idle(self) -> bool:
         return all(channel.idle for channel in self.channels)
+
+    def state_dict(self) -> Dict:
+        """Serialize every channel (geometry is rebuilt from config)."""
+        return {"channels": [channel.state_dict() for channel in self.channels]}
+
+    def load_state_dict(self, state: Dict, requests: Dict[int, MemoryRequest]) -> None:
+        """Restore all channels; advances the completion sequence counter."""
+        max_seq = -1
+        for channel, channel_state in zip(self.channels, state["channels"]):
+            channel.load_state_dict(channel_state, requests)
+            for item in channel_state["completing"]:
+                if item[1] > max_seq:
+                    max_seq = item[1]
+        advance_seq(max_seq)
 
     @property
     def total_lines_transferred(self) -> int:

@@ -1,6 +1,6 @@
 """Structured simulation-failure taxonomy with diagnostic snapshots.
 
-Every abnormal simulation outcome is one of three subclasses of
+Every abnormal simulation outcome is a subclass of
 :class:`SimulationError`:
 
 * :class:`DeadlockError` — the event loop proved no component can ever
@@ -14,6 +14,9 @@ Every abnormal simulation outcome is one of three subclasses of
   conservation, retirement accounting, prefetch ledgers; see
   :mod:`repro.sim.invariants`) failed, i.e. the simulator state is
   corrupt and any statistics derived from it are meaningless.
+* :class:`CheckpointError` — a simulator snapshot failed validation on
+  load (see :mod:`repro.sim.checkpoint`); the run falls back to a cold
+  start and the error is recorded so the bad snapshot leaves a trace.
 
 Each exception carries a *diagnostic snapshot*: a plain-JSON dict of the
 machine state at failure time (cycle, per-core warp states, queue
@@ -80,6 +83,24 @@ class CycleLimitExceeded(SimulationError):
     """The run exhausted ``max_cycles`` before every warp retired."""
 
     kind = "truncated"
+
+
+class CheckpointError(SimulationError):
+    """A simulator checkpoint could not be loaded or validated.
+
+    Raised by :mod:`repro.sim.checkpoint` when a snapshot file is
+    unreadable, structurally invalid, fails its payload digest, or was
+    written for a different schema version / configuration fingerprint.
+    The sweep engine treats it as a *recoverable* condition: the run
+    falls back to a cold start and the error is recorded in the run's
+    failure report so the corrupt snapshot leaves a trace.
+
+    Args:
+        message: Human-readable description of what failed validation.
+        snapshot: Diagnostic context (path, expected/actual digests...).
+    """
+
+    kind = "checkpoint"
 
 
 class InvariantViolation(SimulationError):

@@ -203,6 +203,30 @@ class InvariantChecker:
         self.check(cycle)
         self._watchdog(cycle)
 
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        """Serialize scheduling and watchdog state.
+
+        Restoring it makes a resumed run check (and watchdog-trip) at the
+        same simulated cycles an uninterrupted run would.
+        """
+        return {
+            "next_check_cycle": self.next_check_cycle,
+            "checks": self.checks,
+            "violations_found": self.violations_found,
+            "last_activity": self._last_activity,
+            "last_activity_cycle": self._last_activity_cycle,
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore from :meth:`state_dict` output."""
+        self.next_check_cycle = state["next_check_cycle"]
+        self.checks = state["checks"]
+        self.violations_found = state["violations_found"]
+        self._last_activity = state["last_activity"]
+        self._last_activity_cycle = state["last_activity_cycle"]
+
     # -- activity watchdog ---------------------------------------------
 
     def _activity(self) -> int:

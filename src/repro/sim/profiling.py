@@ -36,7 +36,6 @@ into ``DIR``; see :mod:`repro.harness.sweep`).
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
@@ -167,13 +166,42 @@ class SimProfiler:
         }
 
     def write(self, path: Union[str, Path]) -> Path:
-        """Write the profile JSON to ``path`` (parents created); returns it."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        return path
+        """Write the profile JSON to ``path`` (parents created); returns it.
+
+        The write is atomic (temp file + ``os.replace``, the result-cache
+        pattern) so a crash mid-write can never leave a torn profile.
+        """
+        from repro.sim.checkpoint import atomic_write_json
+
+        return atomic_write_json(path, self.to_dict(), indent=2)
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serialize accumulated counters for a simulator checkpoint.
+
+        Wall times restored into a resumed run make the final profile
+        cumulative across the interrupted and resuming processes.
+        """
+        return {
+            "wall": dict(self.wall),
+            "active_cycles": dict(self.active_cycles),
+            "counts": dict(self.counts),
+            "loop_iterations": self.loop_iterations,
+            "cycles": self.cycles,
+            "wall_seconds": self.wall_seconds,
+            "benchmark": self.benchmark,
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore from :meth:`state_dict` output."""
+        self.wall = {phase: 0.0 for phase in PHASES}
+        self.wall.update(state["wall"])
+        self.active_cycles = {c: 0 for c in COMPONENTS}
+        self.active_cycles.update(state["active_cycles"])
+        self.counts = dict(state["counts"])
+        self.loop_iterations = state["loop_iterations"]
+        self.cycles = state["cycles"]
+        self.wall_seconds = state["wall_seconds"]
+        self.benchmark = state["benchmark"]
 
     def summary(self) -> str:
         """One-paragraph human-readable profile summary (CLI output)."""

@@ -122,6 +122,43 @@ def test_fail_fast_flag_parses(capsys):
     assert "speedup" in capsys.readouterr().out
 
 
+def test_checkpoint_flags_export_env(tmp_path, monkeypatch, capsys):
+    """--checkpoint-dir/--checkpoint-interval export the env vars sweep
+    workers inherit, and the run still completes normally."""
+    import os
+
+    monkeypatch.delenv("REPRO_CHECKPOINT_DIR", raising=False)
+    monkeypatch.delenv("REPRO_CHECKPOINT_INTERVAL", raising=False)
+    ckpt = tmp_path / "checkpoints"
+    assert main([
+        "run", "cell", "--scale", "0.1",
+        "--checkpoint-dir", str(ckpt), "--checkpoint-interval", "400",
+    ]) == 0
+    assert os.environ.get("REPRO_CHECKPOINT_DIR") == str(ckpt)
+    assert os.environ.get("REPRO_CHECKPOINT_INTERVAL") == "400"
+    assert "speedup" in capsys.readouterr().out
+    # Completed runs clean their snapshots up.
+    assert not list(ckpt.glob("*.ckpt.json"))
+
+
+def test_resume_from_flag(tmp_path, capsys):
+    """--resume-from consumes a real mid-run snapshot and completes."""
+    from repro.harness.runner import make_spec
+
+    from tests.harness import faults
+
+    snapshot = tmp_path / "cell.ckpt.json"
+    spec = make_spec("cell", software="stride", throttle=True, scale=0.1)
+    cycle = faults.write_midrun_checkpoint(spec, snapshot)
+    assert cycle > 0
+    assert main([
+        "run", "cell", "--software", "stride", "--throttle", "--scale", "0.1",
+        "--resume-from", str(snapshot),
+    ]) == 0
+    assert "speedup" in capsys.readouterr().out
+    assert not snapshot.exists(), "consumed snapshot must be removed"
+
+
 def test_invalid_benchmark_errors():
     with pytest.raises(KeyError):
         main(["run", "not-a-benchmark"])
