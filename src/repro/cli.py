@@ -9,6 +9,10 @@ Commands:
 * ``list`` — list benchmarks and schemes.
 * ``figure`` — regenerate one of the paper's exhibits (table3, table4,
   table6, fig7, fig8, fig10, ..., fig18) and print it.
+* ``diffcheck`` — run the differential correctness harness: seeded
+  fuzz kernels/configs cross-checked through the equivalence-oracle
+  registry (see :mod:`repro.harness.diffcheck`); exits nonzero on any
+  mismatch and writes minimal-repro reports with ``--report-dir``.
 
 The simulating commands (``run``, ``compare``, ``figure``) share the
 sweep flags:
@@ -240,6 +244,34 @@ def _build_parser() -> argparse.ArgumentParser:
     perf_p.add_argument(
         "--json", action="store_true", help="print the full document as JSON",
     )
+
+    diff_p = sub.add_parser(
+        "diffcheck",
+        help="differential correctness harness (equivalence oracles + fuzzer)",
+    )
+    diff_p.add_argument(
+        "--seeds", type=int, default=10, metavar="N",
+        help="number of fuzz seeds to check (default: 10)",
+    )
+    diff_p.add_argument(
+        "--base-seed", type=int, default=0, metavar="S",
+        help="first fuzz seed (default: 0); the sweep is deterministic "
+             "in (base seed, seed count)",
+    )
+    diff_p.add_argument(
+        "--budget", type=float, default=None, metavar="S",
+        help="wall-clock budget in seconds; the sweep stops between "
+             "seeds once exceeded (default: unlimited)",
+    )
+    diff_p.add_argument(
+        "--report-dir", default=None, metavar="D",
+        help="write mismatch / minimal-repro JSON reports into D "
+             "(default: no files)",
+    )
+    diff_p.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip shrinking failing kernels to minimal repros",
+    )
     return parser
 
 
@@ -426,6 +458,33 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_diffcheck(args: argparse.Namespace) -> int:
+    """``diffcheck``: differential oracles + fuzzer; nonzero on mismatch."""
+    from repro.harness.diffcheck import ORACLES, run_diffcheck
+
+    print(f"diffcheck: {len(ORACLES)} oracles x {args.seeds} seeds "
+          f"(base seed {args.base_seed})")
+    result = run_diffcheck(
+        seeds=args.seeds,
+        budget=args.budget,
+        report_dir=args.report_dir,
+        base_seed=args.base_seed,
+        shrink=not args.no_shrink,
+        log=lambda line: print(f"  {line}", file=sys.stderr),
+    )
+    print(f"checked {result.seeds_checked} seed(s), {result.runs} simulation "
+          f"run(s) in {result.elapsed:.1f}s")
+    if result.ok:
+        print("diffcheck: OK — no differential mismatches")
+        return 0
+    print(f"diffcheck: {len(result.mismatches)} mismatch(es)", file=sys.stderr)
+    for mismatch in result.mismatches:
+        print(mismatch.describe(), file=sys.stderr)
+    for path in result.report_paths:
+        print(f"report: {path}", file=sys.stderr)
+    return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -435,6 +494,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": _cmd_list,
         "figure": _cmd_figure,
         "perf": _cmd_perf,
+        "diffcheck": _cmd_diffcheck,
     }[args.command]
     return handler(args)
 

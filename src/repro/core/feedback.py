@@ -15,10 +15,19 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from collections import deque
+from typing import Deque, Dict, List
 
 from repro.core.ghb import GhbPrefetcher
 from repro.core.stride_pc import StridePcPrefetcher
+
+#: Maximum retained entries in :attr:`FeedbackGhbPrefetcher.degree_history`.
+#: The history exists for post-run inspection of the feedback trajectory;
+#: unbounded it grows one entry per throttle period for the whole run and
+#: bloats every checkpoint.  The tail is what matters for diagnosis, so the
+#: history is a bounded deque and the full trajectory is summarized by the
+#: ``degree_updates`` / ``degree_min`` / ``degree_max`` counters.
+DEGREE_HISTORY_CAP = 64
 
 
 class FeedbackGhbPrefetcher(GhbPrefetcher):
@@ -39,7 +48,13 @@ class FeedbackGhbPrefetcher(GhbPrefetcher):
         self.accuracy_low = accuracy_low
         self.min_degree = min_degree
         self.max_degree = max_degree
-        self.degree_history: List[int] = [self.degree]
+        self.degree_history: Deque[int] = deque(
+            [self.degree], maxlen=DEGREE_HISTORY_CAP
+        )
+        # Whole-run trajectory summary (the deque only keeps the tail).
+        self.degree_updates = 0
+        self.degree_min = self.degree
+        self.degree_max = self.degree
 
     def periodic_update(self, metrics: Dict[str, float]) -> None:
         issued = metrics.get("issued", 0.0)
@@ -51,17 +66,35 @@ class FeedbackGhbPrefetcher(GhbPrefetcher):
         elif accuracy < self.accuracy_low:
             self.degree = max(self.min_degree, self.degree - 1)
         self.degree_history.append(self.degree)
+        self.degree_updates += 1
+        self.degree_min = min(self.degree_min, self.degree)
+        self.degree_max = max(self.degree_max, self.degree)
 
     def state_dict(self) -> Dict:
-        """Serialize GHB state plus the feedback degree trajectory."""
+        """Serialize GHB state plus the (capped) feedback degree trajectory.
+
+        The cap is serialized alongside the history so a restore into a
+        build with a different ``DEGREE_HISTORY_CAP`` still reconstructs
+        the deque with the bound the history was captured under.
+        """
         state = super().state_dict()
         state["degree_history"] = list(self.degree_history)
+        state["degree_history_cap"] = self.degree_history.maxlen
+        state["degree_updates"] = self.degree_updates
+        state["degree_min"] = self.degree_min
+        state["degree_max"] = self.degree_max
         return state
 
     def load_state_dict(self, state: Dict) -> None:
         """Restore from :meth:`state_dict` output."""
         super().load_state_dict(state)
-        self.degree_history = list(state["degree_history"])
+        self.degree_history = deque(
+            state["degree_history"],
+            maxlen=state.get("degree_history_cap", DEGREE_HISTORY_CAP),
+        )
+        self.degree_updates = state["degree_updates"]
+        self.degree_min = state["degree_min"]
+        self.degree_max = state["degree_max"]
 
 
 class LatenessThrottledStridePc(StridePcPrefetcher):

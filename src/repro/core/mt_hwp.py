@@ -158,8 +158,11 @@ class MtHwpPrefetcher(HardwarePrefetcher):
             self._train_ip(pc, warp_id, addr, ip_entry)
         if gs_stride is not None:
             # GS hit: highest priority; the PWS probe is skipped entirely.
+            # A skipped probe is only a saving when PWS is actually
+            # configured in — with PWS disabled there is no access to save.
             self.gs_hits += 1
-            self.pws_accesses_saved += 1
+            if self.enable_pws:
+                self.pws_accesses_saved += 1
             self.triggers += 1
             return self.targets_from_stride(addr, gs_stride)
         # Cycle 1: PWS probe and training.

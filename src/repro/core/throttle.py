@@ -164,8 +164,18 @@ class ThrottleEngine:
         self.total_allowed += 1
         return True
 
-    def update(self, window: ThrottleWindow) -> int:
+    def update(self, window: ThrottleWindow, cycle: Optional[int] = None) -> int:
         """End-of-period metric update (Eqs. 7-8) + Table I action.
+
+        Args:
+            window: The metrics monitored during the period that just ended.
+            cycle: The cycle at which the update runs.  The simulator's
+                event scheduler always lands updates exactly on
+                ``next_update_cycle`` (the boundary is an event candidate),
+                so the single-period advance below already moves the
+                boundary past ``cycle``; the fast-forward is a guard for
+                external callers that drive the engine with sparse cycle
+                numbers, keeping the boundary strictly in the future.
 
         Returns the new throttle degree.
         """
@@ -193,6 +203,9 @@ class ThrottleEngine:
         else:
             self.degree = cfg.max_degree
         self.next_update_cycle += cfg.period
+        if cycle is not None and self.next_update_cycle <= cycle:
+            periods = (cycle - self.next_update_cycle) // cfg.period + 1
+            self.next_update_cycle += periods * cfg.period
         return self.degree
 
     def state_dict(self) -> Dict:

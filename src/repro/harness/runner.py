@@ -185,6 +185,7 @@ def _simulate(
     checkpoint_path: Union[str, Path, None] = None,
     checkpoint_interval: int = 0,
     checkpoint_tag: str = "",
+    invariants: Optional[bool] = None,
 ) -> SimulationResult:
     """The single execution path behind every run (serial, pooled, cached).
 
@@ -194,6 +195,10 @@ def _simulate(
     every ``checkpoint_interval`` cycles while running, and removes the
     snapshot once the run completes (a finished run needs no resume
     point, and a stale snapshot must not shadow a future re-run).
+
+    ``invariants`` overrides the ``$REPRO_INVARIANTS`` default; the
+    differential harness forces it on so every oracle run is also
+    machine-checked.
     """
     if perfect_memory:
         cfg = cfg.replace(perfect_memory=True)
@@ -234,7 +239,7 @@ def _simulate(
                 )
                 sim = None
     if sim is None:
-        sim = GpuSimulator(cfg, factory, profiler=profiler)
+        sim = GpuSimulator(cfg, factory, invariants=invariants, profiler=profiler)
         sim.load_workload(workload.blocks, workload.max_blocks_per_core)
     if checkpoint_path is not None and checkpoint_interval > 0:
         attach_checkpointing(

@@ -108,7 +108,13 @@ from repro.trace.swp import SoftwarePrefetchConfig
 #:
 #: v2: ``SimStats`` gained the ``truncated`` field (simulation integrity
 #: layer); v1 entries cannot state whether they were truncated.
-SCHEMA_VERSION = 2
+#:
+#: v3: Eq. 6 merge accounting fixed — a redundant prefetch probing an
+#: in-flight line no longer counts as an intra-core merge/request (it is
+#: tracked separately as ``total_prefetch_merged``), demand merges into
+#: unsent stores promote the entry, and over-footprint instructions issue
+#: in chunks.  Cached v2 stats for prefetching runs are stale.
+SCHEMA_VERSION = 3
 
 #: Environment variable overriding the default machine-wide cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

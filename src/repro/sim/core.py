@@ -182,8 +182,28 @@ class Core:
             wait = inst.wait_tokens
             if wait and not warp.tokens_done.issuperset(wait):
                 continue
+            if warp.line_offset > 0:
+                # A chunked issue is in progress: the all-at-once room
+                # check must not run (completed early chunks would make
+                # the instruction look re-issuable from scratch).
+                if self._issue_chunk(warp, inst, cycle):
+                    if self.config.core.scheduler != "oldest":
+                        self._rr_index = index if index < num_warps else 0
+                    return True, None
+                continue
             if inst.global_memory and not self._mrq_has_room(inst):
                 if inst.op != Op.PREFETCH:
+                    if self._mrq_new_lines(inst) > self.mrq.size:
+                        # The instruction alone needs more MRQ entries
+                        # than exist: the all-at-once check can never
+                        # pass and stalling here would deadlock.  Issue
+                        # it in chunks instead.
+                        if self._issue_chunk(warp, inst, cycle):
+                            if self.config.core.scheduler != "oldest":
+                                self._rr_index = (
+                                    index if index < num_warps else 0
+                                )
+                            return True, None
                     # Structural stall: MRQ space frees when a response
                     # arrives (an external event), but responses are only
                     # observed on event boundaries anyway.
@@ -198,8 +218,8 @@ class Core:
         self.stall_cycles += 1
         return False, min_ready
 
-    def _mrq_has_room(self, inst: WarpInstruction) -> bool:
-        """Conservatively check MRQ space for a memory instruction."""
+    def _mrq_new_lines(self, inst: WarpInstruction) -> int:
+        """Distinct lines of ``inst`` needing a fresh MRQ entry right now."""
         needed = 0
         mrq = self.mrq
         pcache = self.pcache
@@ -209,7 +229,11 @@ class Core:
             if inst.op == Op.LOAD and pcache.contains(line):
                 continue
             needed += 1
-        return len(mrq) + needed <= mrq.size
+        return needed
+
+    def _mrq_has_room(self, inst: WarpInstruction) -> bool:
+        """Conservatively check MRQ space for a memory instruction."""
+        return len(self.mrq) + self._mrq_new_lines(inst) <= self.mrq.size
 
     def _issue(self, warp: Warp, inst: WarpInstruction, cycle: int) -> None:
         """Issue one warp-instruction: occupy the port, run its side effects."""
@@ -251,10 +275,14 @@ class Core:
                 # collision can only reduce the requirement, so this is
                 # unreachable in practice — treat defensively as a hit.
                 continue
-            if request.late_prefetch and request.was_prefetch:
-                pass  # late-prefetch accounting happens at response time
             pending += 1
         warp.begin_load(inst.token, pending)
+        self._observe_and_prefetch(warp, inst, cycle)
+
+    def _observe_and_prefetch(
+        self, warp: Warp, inst: WarpInstruction, cycle: int
+    ) -> None:
+        """Train the hardware prefetcher on one demand load (once)."""
         if self.prefetcher is not None:
             prof = self.profiler
             if prof is None:
@@ -271,6 +299,74 @@ class Core:
             if targets:
                 footprint = len(inst.lines)
                 self._issue_hw_prefetches(targets, inst, warp.warp_id, footprint, cycle)
+
+    def _issue_chunk(self, warp: Warp, inst: WarpInstruction, cycle: int) -> bool:
+        """Route one chunk of an over-footprint memory instruction.
+
+        Called when a LOAD/STORE needs more fresh MRQ entries than the
+        MRQ holds in total (``_mrq_new_lines(inst) > mrq.size``), so the
+        all-at-once room check of :meth:`_issue` can never be satisfied.
+        Lines are routed from ``warp.line_offset`` until the MRQ rejects
+        one; the warp then stays parked on the instruction (occupying
+        the issue port per chunk, like a real memory stage draining a
+        too-wide access) and resumes as responses free entries.  Returns
+        True when any progress was made (the caller treats it as an
+        issue); False leaves the warp stalled awaiting a response.
+
+        Per-instruction bookkeeping (instruction/load counts, prefetcher
+        training) happens on the first chunk only; the warp advances on
+        the last.
+        """
+        op = inst.op
+        lines = inst.lines
+        first = warp.line_offset == 0
+        offset = warp.line_offset
+        pending = 0
+        if op == Op.LOAD:
+            while offset < len(lines):
+                line = lines[offset]
+                if self.pcache.demand_lookup(line):
+                    self.demand_line_accesses += 1
+                    offset += 1
+                    continue
+                request = self.mrq.access_demand(
+                    line, warp, inst.token, inst.pc, warp.warp_id, cycle
+                )
+                if request is None:
+                    break
+                self.demand_line_accesses += 1
+                self.demand_lines_to_memory += 1
+                pending += 1
+                offset += 1
+        else:
+            while offset < len(lines):
+                if self.mrq.access_store(
+                    lines[offset], inst.pc, warp.warp_id, cycle
+                ) is None:
+                    break
+                offset += 1
+        done = offset >= len(lines)
+        if offset == warp.line_offset and not done:
+            return False
+        occupancy = self._issue_cycles[op]
+        self.port_free_cycle = cycle + occupancy
+        if first:
+            self.instructions += 1
+            if op == Op.LOAD:
+                self.demand_loads += 1
+                self._observe_and_prefetch(warp, inst, cycle)
+        if op == Op.LOAD:
+            warp.begin_load_chunk(inst.token, pending, final=done)
+        if done:
+            warp.line_offset = 0
+            warp.advance(cycle, cycle + occupancy)
+            if warp.finished:
+                self._unfinished -= 1
+                self._retire_warp(warp)
+        else:
+            warp.line_offset = offset
+            warp.ready_cycle = cycle + occupancy
+        return True
 
     def _issue_store(self, warp: Warp, inst: WarpInstruction, cycle: int) -> None:
         """Route a STORE through the MRQ (fire-and-forget, no waiters)."""
@@ -327,6 +423,9 @@ class Core:
             self.prefetch_redundant += 1
             return
         if self.mrq.lookup(line) is not None:
+            # The line is already in flight: a redundant prefetch.  The
+            # MRQ records the probe (``total_prefetch_merged``) without
+            # counting an Eq. 6 merge/request — see access_prefetch.
             self.prefetch_redundant += 1
             self.mrq.access_prefetch(line, pc, warp_id, cycle)
             return
@@ -378,7 +477,7 @@ class Core:
         self._window_prefetch_issued = 0
         self._window_late = 0
         if self.throttle.enabled:
-            self.throttle.update(window)
+            self.throttle.update(window, cycle)
         if self.prefetcher is not None:
             self.prefetcher.periodic_update(
                 {

@@ -9,7 +9,19 @@ memory requests.
 
 The throttle engine's *merge ratio* metric (Eq. 6) is the number of
 intra-core merges divided by the total number of requests; both counters are
-maintained here with per-window snapshots.
+maintained here with per-window snapshots.  The counters are kept *exact*:
+
+* Only demand and store accesses that join (or create) an entry count
+  toward ``merges``/``requests``.  A prefetch probing a line the MRQ
+  already tracks is a *redundant* prefetch — the memory system sees no
+  new request — and is recorded separately
+  (``total_prefetch_merged``), never as an Eq. 6 merge, which would
+  otherwise let a prefetcher inflate its own utility evidence by
+  re-requesting in-flight lines.
+* ``total_demand_on_prefetch_merges`` is single-counted per prefetch
+  entry: the first demand merge clears the entry's prefetch bit, so
+  later demands merging into the same entry are ordinary
+  demand-on-demand merges.
 """
 
 from __future__ import annotations
@@ -27,7 +39,7 @@ class MemoryRequestQueue:
         "window_merges", "window_requests",
         "total_merges", "total_requests", "total_created", "total_completed",
         "total_stores_sent", "total_demand_on_prefetch_merges",
-        "total_prefetch_dropped_full",
+        "total_prefetch_dropped_full", "total_prefetch_merged",
     )
 
     def __init__(self, core_id: int, size: int) -> None:
@@ -48,6 +60,7 @@ class MemoryRequestQueue:
         self.total_stores_sent = 0
         self.total_demand_on_prefetch_merges = 0
         self.total_prefetch_dropped_full = 0
+        self.total_prefetch_merged = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -94,6 +107,16 @@ class MemoryRequestQueue:
         if existing is not None:
             if existing.is_prefetch:
                 self.total_demand_on_prefetch_merges += 1
+            if existing.is_store:
+                # A demand merging into a not-yet-sent store: the line must
+                # now return data, so the entry is promoted to a demand
+                # request.  Leaving it a store would free it at injection
+                # with no response, stranding the waiter registered below
+                # (a lost wake-up that wedges the warp forever).  Demand
+                # latency is measured from the merge, not from the store's
+                # creation.
+                existing.is_store = False
+                existing.create_cycle = cycle
             existing.merge_demand(warp, token, cycle)
             self._count_access(merged=True)
             return existing
@@ -125,13 +148,17 @@ class MemoryRequestQueue:
     ) -> Optional[MemoryRequest]:
         """Route a prefetch line access through the MRQ.
 
-        Prefetches merge into any existing entry for the line (a no-op for
-        the memory system); if the MRQ is full the prefetch is dropped
-        rather than stalling the core.
+        A prefetch to a line the MRQ already tracks is a no-op for the
+        memory system: it is recorded as ``total_prefetch_merged`` but
+        deliberately NOT as an Eq. 6 merge/request — counting it would
+        let redundant prefetches inflate the throttle engine's merge
+        ratio (utility evidence) with traffic that never existed.  If
+        the MRQ is full the prefetch is dropped rather than stalling
+        the core.
         """
         existing = self._entries.get(line_addr)
         if existing is not None:
-            self._count_access(merged=True)
+            self.total_prefetch_merged += 1
             return existing
         if self.full:
             self.total_prefetch_dropped_full += 1
@@ -200,6 +227,7 @@ class MemoryRequestQueue:
             "total_stores_sent": self.total_stores_sent,
             "total_demand_on_prefetch_merges": self.total_demand_on_prefetch_merges,
             "total_prefetch_dropped_full": self.total_prefetch_dropped_full,
+            "total_prefetch_merged": self.total_prefetch_merged,
         }
 
     def load_state_dict(self, state: Dict, requests: Dict[int, MemoryRequest]) -> None:
@@ -221,3 +249,4 @@ class MemoryRequestQueue:
         self.total_stores_sent = state["total_stores_sent"]
         self.total_demand_on_prefetch_merges = state["total_demand_on_prefetch_merges"]
         self.total_prefetch_dropped_full = state["total_prefetch_dropped_full"]
+        self.total_prefetch_merged = state["total_prefetch_merged"]

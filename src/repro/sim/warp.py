@@ -27,6 +27,7 @@ class Warp:
         "_pending_lines",
         "finish_cycle",
         "finished",
+        "line_offset",
     )
 
     def __init__(self, warp_id: int, block_id: int, stream: List[WarpInstruction]) -> None:
@@ -38,6 +39,11 @@ class Warp:
         self.tokens_done: Set[int] = set()
         self._pending_lines: Dict[int, int] = {}
         self.finish_cycle = -1
+        #: Lines of the *current* memory instruction already routed to
+        #: the memory system.  Nonzero only while a chunked issue is in
+        #: progress (an instruction whose line footprint exceeds the
+        #: whole MRQ; see ``Core._issue_chunk``).
+        self.line_offset = 0
         #: Kept as a plain attribute (not a property over ``pc_index``):
         #: the issue loop and the core's drain check read it once per warp
         #: per eventful cycle, making it the single hottest attribute in
@@ -79,6 +85,28 @@ class Warp:
             self.tokens_done.add(token)
         else:
             self._pending_lines[token] = num_lines
+
+    def begin_load_chunk(self, token: int, num_lines: int, final: bool) -> None:
+        """Accumulate outstanding lines for a partially-issued LOAD.
+
+        While chunks are still being routed the token holds one extra
+        "open" count, so responses for early chunks — which can arrive
+        before the later chunks exist — cannot complete the token
+        prematurely.  The final chunk removes the open count; a load
+        whose lines all hit the prefetch cache completes immediately,
+        matching :meth:`begin_load`.
+        """
+        pending = self._pending_lines.get(token)
+        if pending is None:
+            pending = 1  # the open count
+        pending += num_lines
+        if final:
+            pending -= 1
+            if pending <= 0:
+                self._pending_lines.pop(token, None)
+                self.tokens_done.add(token)
+                return
+        self._pending_lines[token] = pending
 
     def line_complete(self, token: int) -> bool:
         """One line of load ``token`` arrived; True if the token completed."""
@@ -122,6 +150,7 @@ class Warp:
             ],
             "finish_cycle": self.finish_cycle,
             "finished": self.finished,
+            "line_offset": self.line_offset,
         }
 
     @classmethod
@@ -136,4 +165,5 @@ class Warp:
         }
         warp.finish_cycle = state["finish_cycle"]
         warp.finished = state["finished"]
+        warp.line_offset = state.get("line_offset", 0)
         return warp

@@ -119,3 +119,58 @@ class TestLatenessThrottledStridePc:
         pref.drop_fraction = 0.6
         pref.periodic_update({"issued": 0.0})
         assert abs(pref.drop_fraction - 0.4) < 1e-9
+
+
+class TestDegreeHistoryCap:
+    def test_history_is_bounded(self):
+        from repro.core.feedback import DEGREE_HISTORY_CAP
+
+        pref = FeedbackGhbPrefetcher()
+        for _ in range(DEGREE_HISTORY_CAP * 3):
+            pref.periodic_update({"issued": 100.0, "accuracy": 0.9})
+        assert len(pref.degree_history) == DEGREE_HISTORY_CAP
+        assert pref.degree_history.maxlen == DEGREE_HISTORY_CAP
+
+    def test_summary_counters_cover_the_whole_run(self):
+        """The deque only keeps the tail; min/max/updates summarize the
+        full trajectory, including values the cap evicted."""
+        from repro.core.feedback import DEGREE_HISTORY_CAP
+
+        pref = FeedbackGhbPrefetcher(min_degree=1, max_degree=4)
+        # Drive accuracy low first (degree sinks to min), then high for
+        # long enough that the low-degree entries age out of the deque.
+        for _ in range(3):
+            pref.periodic_update({"issued": 100.0, "accuracy": 0.1})
+        for _ in range(DEGREE_HISTORY_CAP + 10):
+            pref.periodic_update({"issued": 100.0, "accuracy": 0.9})
+        assert min(pref.degree_history) > pref.degree_min
+        assert pref.degree_min == 1
+        assert pref.degree_max == 4
+        assert pref.degree_updates == DEGREE_HISTORY_CAP + 13
+
+    def test_state_dict_round_trips_history_and_cap(self):
+        pref = FeedbackGhbPrefetcher()
+        for accuracy in (0.9, 0.9, 0.1, 0.9):
+            pref.periodic_update({"issued": 100.0, "accuracy": accuracy})
+        state = pref.state_dict()
+        assert state["degree_history_cap"] == pref.degree_history.maxlen
+        clone = FeedbackGhbPrefetcher()
+        clone.load_state_dict(state)
+        assert list(clone.degree_history) == list(pref.degree_history)
+        assert clone.degree_history.maxlen == pref.degree_history.maxlen
+        assert clone.degree_updates == pref.degree_updates
+        assert clone.degree_min == pref.degree_min
+        assert clone.degree_max == pref.degree_max
+        assert clone.state_dict() == state
+
+    def test_restored_history_keeps_enforcing_the_cap(self):
+        from repro.core.feedback import DEGREE_HISTORY_CAP
+
+        pref = FeedbackGhbPrefetcher()
+        for _ in range(5):
+            pref.periodic_update({"issued": 100.0, "accuracy": 0.9})
+        clone = FeedbackGhbPrefetcher()
+        clone.load_state_dict(pref.state_dict())
+        for _ in range(DEGREE_HISTORY_CAP * 2):
+            clone.periodic_update({"issued": 100.0, "accuracy": 0.9})
+        assert len(clone.degree_history) == DEGREE_HISTORY_CAP

@@ -1,0 +1,261 @@
+"""Self-tests for the differential harness (oracles, fuzzer, shrinker).
+
+The harness is only trustworthy if it *demonstrably* catches bugs, so the
+centerpiece here is a planted-bug fixture: a throttle that leaks every
+fifth prefetch it should have dropped.  The null-family oracle's
+max-pinned-throttle equivalence must flag it; a clean build of the same
+kernel/config must pass the identical check.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.throttle import ThrottleEngine
+from repro.harness.diffcheck import (
+    DiffRunner,
+    DifferentialMismatch,
+    check_kernel,
+    compare_stats,
+    config_from_dict,
+    config_to_dict,
+    fuzz_config,
+    fuzz_kernel,
+    kernel_from_dict,
+    kernel_to_dict,
+    run_diffcheck,
+    shrink_kernel,
+)
+from repro.harness.runner import run_spec, make_spec
+from repro.trace.kernels import Compute, KernelSpec, Load
+
+
+def prefetching_kernel():
+    """A kernel whose stride is trivially learnable: the fixture must
+    generate prefetches, or a leaky throttle has nothing to leak."""
+    return KernelSpec(
+        name="planted",
+        suite="fuzz",
+        btype="stride",
+        threads_per_block=64,
+        num_blocks=2,
+        body=(
+            Load("x0", "A", lane_stride=4, iter_stride=4096),
+            Compute(1, consumes=("x0",)),
+            Compute(4),
+        ),
+        loop_iters=6,
+        stride_delinquent=("x0",),
+    )
+
+
+def small_config():
+    return config_from_dict(
+        {
+            "num_cores": 2,
+            "mrq_size": 32,
+            "prefetch_cache_bytes": 16 * 1024,
+            "interconnect_latency": 20,
+            "throttle_period": 200,
+            "max_cycles": 2_000_000,
+        }
+    )
+
+
+def _leaky_allow_prefetch(self):
+    """The planted bug: every fifth prefetch escapes the throttle even at
+    max degree (an off-by-one in the drop comparison would do this)."""
+    if not self.config.enabled or self.degree <= 0:
+        self.total_allowed += 1
+        return True
+    self._drop_counter += 1
+    if self._drop_counter % 5 == 0:
+        self.total_allowed += 1
+        return True
+    self.total_dropped += 1
+    return False
+
+
+class TestPlantedBug:
+    def test_clean_build_passes(self):
+        mismatches = check_kernel(prefetching_kernel(), small_config())
+        assert mismatches == []
+
+    def test_leaky_throttle_is_caught(self, monkeypatch):
+        """The fixture bug must produce a DifferentialMismatch — this is
+        the harness's own regression test: if a broken throttle sails
+        through, the oracles have rotted."""
+        monkeypatch.setattr(
+            ThrottleEngine, "allow_prefetch", _leaky_allow_prefetch
+        )
+        mismatches = check_kernel(prefetching_kernel(), small_config())
+        assert mismatches, "planted throttle leak not detected"
+        assert all(isinstance(m, DifferentialMismatch) for m in mismatches)
+        oracles = {m.oracle for m in mismatches}
+        assert "null-family" in oracles, (
+            f"expected the null-family oracle to flag the leak, got {oracles}"
+        )
+        # Leaked prefetches reach the memory system, so the divergence
+        # must include fields outside the allowed (generated/throttled) set.
+        flagged = next(m for m in mismatches if m.oracle == "null-family")
+        assert flagged.fields or "failed to simulate" in flagged.detail
+
+    def test_leaky_throttle_report_round_trips(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            ThrottleEngine, "allow_prefetch", _leaky_allow_prefetch
+        )
+        result = run_diffcheck(
+            seeds=1, base_seed=0, shrink=False, report_dir=tmp_path
+        )
+        assert not result.ok
+        assert result.report_paths, "mismatch reports not written"
+        doc = json.loads(result.report_paths[0].read_text(encoding="utf-8"))
+        assert doc["kind"] == "differential"
+        assert doc["seed"] == 0
+        # The embedded repro spec must rebuild into a runnable kernel.
+        kernel = kernel_from_dict(doc["kernel"])
+        cfg = config_from_dict(doc["config"])
+        assert kernel.total_warps >= 1
+        assert cfg.max_cycles == doc["config"]["max_cycles"]
+
+
+class TestFuzzerDeterminism:
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_same_seed_same_kernel_and_config(self, seed):
+        k1 = fuzz_kernel(random.Random(seed), seed)
+        c1 = fuzz_config(random.Random(seed ^ 0xFFFF))
+        k2 = fuzz_kernel(random.Random(seed), seed)
+        c2 = fuzz_config(random.Random(seed ^ 0xFFFF))
+        assert kernel_to_dict(k1) == kernel_to_dict(k2)
+        assert config_to_dict(c1) == config_to_dict(c2)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_kernel_round_trips(self, seed):
+        kernel = fuzz_kernel(random.Random(seed), seed)
+        assert kernel_from_dict(kernel_to_dict(kernel)) == kernel
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_config_round_trips(self, seed):
+        cfg = fuzz_config(random.Random(seed))
+        assert config_to_dict(config_from_dict(config_to_dict(cfg))) == (
+            config_to_dict(cfg)
+        )
+
+    def test_fuzz_kernels_always_have_a_consumed_load(self):
+        for seed in range(20):
+            kernel = fuzz_kernel(random.Random(seed), seed)
+            loads = [op for op in kernel.body if isinstance(op, Load)]
+            assert loads, f"seed {seed}: no load"
+            tail = kernel.body[-1]
+            assert isinstance(tail, Compute) and tail.consumes, (
+                f"seed {seed}: missing scoreboard-wait consumer"
+            )
+
+
+class TestShrinker:
+    def bloated_kernel(self):
+        return KernelSpec(
+            name="bloat",
+            suite="fuzz",
+            btype="stride",
+            threads_per_block=64,
+            num_blocks=3,
+            body=(
+                Load("x0", "A", lane_stride=4, iter_stride=64),
+                Load("x1", "B", lane_stride=128, iter_stride=0),
+                Compute(3, consumes=("x0",)),
+                Compute(1, consumes=("x0", "x1")),
+            ),
+            loop_iters=4,
+            stride_delinquent=("x0", "x1"),
+        )
+
+    def test_shrinks_to_the_culprit_op(self):
+        """Greedy shrink against a synthetic predicate (the failure needs
+        the wide load) must strip everything else."""
+
+        def failing(kernel):
+            return any(
+                isinstance(op, Load) and op.lane_stride == 128
+                for op in kernel.body
+            )
+
+        minimal = shrink_kernel(self.bloated_kernel(), failing)
+        assert failing(minimal)
+        assert minimal.num_blocks == 1
+        assert minimal.loop_iters == 0
+        assert minimal.threads_per_block == 32
+        assert len(minimal.body) == 1
+        assert isinstance(minimal.body[0], Load)
+        # Spec stayed valid: no dangling delinquent/consumes references.
+        assert minimal.stride_delinquent == ("x1",)
+
+    def test_shrunk_spec_never_references_dropped_loads(self):
+        def failing(kernel):
+            return sum(isinstance(op, Load) for op in kernel.body) >= 1
+
+        minimal = shrink_kernel(self.bloated_kernel(), failing)
+        load_names = {
+            op.name for op in minimal.body if isinstance(op, Load)
+        }
+        for op in minimal.body:
+            if isinstance(op, Compute):
+                assert set(op.consumes) <= load_names
+        assert set(minimal.stride_delinquent) <= load_names
+
+    def test_predicate_crash_means_keep_the_step_out(self):
+        """A candidate whose predicate raises is never taken."""
+
+        def failing(kernel):
+            if kernel.num_blocks < 3:
+                raise RuntimeError("boom")
+            return True
+
+        minimal = shrink_kernel(self.bloated_kernel(), failing)
+        assert minimal.num_blocks == 3  # crashes blocked every reduction
+
+
+class TestCompareStats:
+    def run_stats(self, hardware):
+        spec = make_spec(
+            benchmark="stream", hardware=hardware, scale=0.25, software="none"
+        )
+        return run_spec(spec).stats
+
+    def test_identical_stats_diff_empty(self):
+        lhs = self.run_stats("none")
+        rhs = self.run_stats("none")
+        assert compare_stats(lhs, rhs) == {}
+
+    def test_allowed_fields_are_masked(self):
+        lhs = self.run_stats("none")
+        rhs = self.run_stats("stride_pc_wid")
+        diff = compare_stats(lhs, rhs)
+        assert diff  # a prefetcher must change something
+        masked = compare_stats(lhs, rhs, allowed=diff.keys())
+        assert masked == {}
+
+
+class TestRunDiffcheck:
+    def test_clean_seed_sweep(self, tmp_path):
+        result = run_diffcheck(seeds=2, report_dir=tmp_path)
+        assert result.ok
+        assert result.seeds_checked == 2
+        assert result.runs > 0
+        assert list(tmp_path.iterdir()) == []  # no reports when clean
+
+    def test_memo_dedups_shared_variants(self):
+        """Oracles share runs through the memo: the sanity-bounds sweep
+        re-uses the null-family and warp-id runs instead of re-simulating."""
+        kernel = fuzz_kernel(random.Random(0), 0)
+        cfg = fuzz_config(random.Random(0))
+        runner = DiffRunner()
+        check_kernel(kernel, cfg, runner)
+        assert runner.runs == len(runner._memo)
+        check_kernel(kernel, cfg, runner)  # every run memoized now
+        assert runner.runs == len(runner._memo)
+
+    def test_budget_stops_between_seeds(self):
+        result = run_diffcheck(seeds=50, budget=0.0)
+        assert result.seeds_checked < 50

@@ -15,6 +15,7 @@ import pytest
 
 from repro.harness.runner import ExperimentRunner, make_spec
 from repro.harness.sweep import (
+    SCHEMA_VERSION,
     ResultCache,
     RunFailure,
     SweepEngine,
@@ -213,14 +214,16 @@ class TestManifestResume:
     def test_manifest_tolerates_torn_and_foreign_lines(self, tmp_path):
         path = tmp_path / "sweep.jsonl"
         manifest = SweepManifest(path)
-        good = {"schema": 2, "key": "k1", "status": "done",
+        good = {"schema": SCHEMA_VERSION, "key": "k1", "status": "done",
                 "stats": {"cycles": 7}}
         foreign_schema = {"schema": 999, "key": "k2", "status": "done"}
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(json.dumps(good) + "\n")
             fh.write("not json at all\n")
             fh.write(json.dumps(foreign_schema) + "\n")
-            fh.write('{"schema": 2, "key": "k3", "status"')  # torn write
+            fh.write(
+                '{"schema": %d, "key": "k3", "status"' % SCHEMA_VERSION
+            )  # torn write
         records = manifest.load()
         assert set(records) == {"k1"}
         assert records["k1"]["stats"]["cycles"] == 7
