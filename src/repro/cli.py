@@ -45,6 +45,21 @@ sweep flags:
   (wall-clock phase timers + per-component activity) into DIR for every
   run actually executed, in this process and all sweep workers
   (equivalent to ``REPRO_PROFILE_DIR=DIR``).
+* ``--heartbeat-interval S`` — worker liveness heartbeats every S
+  seconds; pooled sweeps kill and requeue a heartbeat-silent (wedged)
+  run well before its full ``--timeout`` deadline.
+* ``--memory-budget MB`` — per-run peak-RSS budget, self-enforced by
+  workers (equivalent to ``REPRO_MEMORY_BUDGET_MB=MB``); an over-budget
+  run checkpoints and fails structurally instead of taking the host
+  down.
+* ``--quarantine-dir DIR`` — poison-spec registry: specs that crash or
+  wedge workers on every attempt are quarantined into DIR and skipped
+  by later sweeps until their report file is deleted.
+
+A sweep interrupted by SIGTERM/SIGINT drains in-flight runs, finalizes
+the ``--manifest`` journal, and exits with status 130; re-invoking the
+same command with the same manifest resumes exactly.  A second signal
+forces immediate exit.
 
 ``perf`` runs the fixed performance benchmark subset and writes a
 ``BENCH_perf.json`` throughput document (see :mod:`repro.harness.perf`).
@@ -66,6 +81,7 @@ from repro.harness.runner import (
     make_spec,
     run_spec,
 )
+from repro.harness.sweep import SweepInterrupted
 from repro.sim.checkpoint import CHECKPOINT_DIR_ENV, CHECKPOINT_INTERVAL_ENV
 from repro.sim.invariants import INVARIANTS_ENV
 from repro.sim.profiling import PROFILE_DIR_ENV
@@ -129,6 +145,24 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
         help="write a per-run performance profile JSON into DIR "
              "(REPRO_PROFILE_DIR=DIR) in this process and all sweep workers",
     )
+    parser.add_argument(
+        "--heartbeat-interval", type=float, default=None, metavar="S",
+        help="worker liveness heartbeats every S seconds; pooled sweeps "
+             "kill+requeue a heartbeat-silent (wedged) run well before "
+             "its full --timeout deadline",
+    )
+    parser.add_argument(
+        "--memory-budget", type=float, default=None, metavar="MB",
+        help="per-run peak-RSS budget in MB, self-enforced by workers "
+             "(REPRO_MEMORY_BUDGET_MB=MB); an over-budget run checkpoints "
+             "and fails structurally",
+    )
+    parser.add_argument(
+        "--quarantine-dir", default=None, metavar="DIR",
+        help="poison-spec registry: specs that crash or wedge workers on "
+             "every attempt are quarantined into DIR and skipped by later "
+             "sweeps",
+    )
 
 
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
@@ -153,6 +187,9 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         max_failures=args.max_failures,
         fail_fast=args.fail_fast,
         manifest=args.manifest,
+        heartbeat_interval=args.heartbeat_interval,
+        quarantine_dir=args.quarantine_dir,
+        memory_budget_mb=args.memory_budget,
     )
 
 
@@ -486,7 +523,12 @@ def _cmd_diffcheck(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    A graceful shutdown (first SIGTERM/SIGINT: the sweep drains, journals
+    completed runs, and finalizes the manifest) and a forced exit (second
+    signal) both return 130, the conventional fatal-signal code.
+    """
     args = _build_parser().parse_args(argv)
     handler = {
         "run": _cmd_run,
@@ -496,7 +538,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "perf": _cmd_perf,
         "diffcheck": _cmd_diffcheck,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except SweepInterrupted as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 130
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

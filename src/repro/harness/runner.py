@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import os
 import warnings
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Union
@@ -31,6 +32,7 @@ from repro.core.mt_hwp import MtHwpPrefetcher
 from repro.core.stream_pref import StreamPrefetcher
 from repro.core.stride_pc import StridePcPrefetcher
 from repro.core.stride_rpt import StrideRptPrefetcher
+from repro.harness import supervise
 from repro.harness.sweep import (
     Outcome,
     ProgressReporter,
@@ -186,6 +188,7 @@ def _simulate(
     checkpoint_interval: int = 0,
     checkpoint_tag: str = "",
     invariants: Optional[bool] = None,
+    sentinel: Optional[supervise.RunSentinel] = None,
 ) -> SimulationResult:
     """The single execution path behind every run (serial, pooled, cached).
 
@@ -199,6 +202,11 @@ def _simulate(
     ``invariants`` overrides the ``$REPRO_INVARIANTS`` default; the
     differential harness forces it on so every oracle run is also
     machine-checked.
+
+    ``sentinel`` attaches a :class:`repro.harness.supervise.RunSentinel`
+    to the run loop (heartbeats, memory budget, graceful shutdown); it
+    is armed *after* checkpointing so a sentinel-triggered exit can
+    flush the armed snapshot.
     """
     if perfect_memory:
         cfg = cfg.replace(perfect_memory=True)
@@ -245,6 +253,8 @@ def _simulate(
         attach_checkpointing(
             sim, checkpoint_path, checkpoint_interval, fingerprint=checkpoint_tag
         )
+    if sentinel is not None:
+        sentinel.attach(sim)
     result = sim.run(strict=strict)
     if checkpoint_path is not None:
         try:
@@ -320,6 +330,11 @@ def run_spec(
             checkpoint_path = checkpoint_path_for(spec, checkpoint_dir)
     if checkpoint_interval is None:
         checkpoint_interval = checkpoint_interval_from_env()
+    # The sentinel is built before trace generation so its first
+    # heartbeat (which records this worker's pid) lands immediately —
+    # the supervisor must be able to reclaim a worker that wedges before
+    # its simulation ever starts.
+    sentinel = supervise.sentinel_from_env(spec.benchmark, key)
     result = _simulate(
         kernel, spec.software, builder, spec.distance, spec.degree,
         spec.config, spec.throttle, spec.perfect_memory, strict=strict,
@@ -327,10 +342,19 @@ def run_spec(
         checkpoint_path=checkpoint_path,
         checkpoint_interval=checkpoint_interval,
         checkpoint_tag=key,
+        sentinel=sentinel,
     )
+    sentinel.close()
     if profiler is not None:
         profiler.benchmark = spec.benchmark
-        profiler.write(profile_path)
+        try:
+            profiler.write(profile_path)
+        except OSError as exc:
+            warnings.warn(
+                f"profile write to {profile_path} dropped ({exc})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return result
 
 
@@ -407,6 +431,17 @@ class ExperimentRunner:
             progress.
         failure_report_dir: When set, each failed run writes a
             diagnostic JSON report under this directory.
+        heartbeat_interval: Seconds between worker liveness heartbeats;
+            enables wedge supervision for pooled sweeps (see
+            :class:`~repro.harness.sweep.SweepEngine`).
+        quarantine_dir: Poison-spec registry directory: specs that crash
+            or wedge workers on every attempt are quarantined there and
+            skipped by later sweeps.
+        memory_budget_mb: Per-run peak-RSS budget in MB, enforced by
+            worker self-monitoring (exported as
+            ``$REPRO_MEMORY_BUDGET_MB`` so pooled workers inherit it); a
+            run over budget checkpoints and fails structurally with
+            :class:`~repro.sim.errors.MemoryBudgetExceeded`.
     """
 
     def __init__(
@@ -423,11 +458,18 @@ class ExperimentRunner:
         fail_fast: bool = False,
         manifest: Union[str, Path, None] = None,
         failure_report_dir: Union[str, Path, None] = None,
+        heartbeat_interval: Optional[float] = None,
+        quarantine_dir: Union[str, Path, None] = None,
+        memory_budget_mb: Optional[float] = None,
     ) -> None:
         self.config = config or baseline_config()
         self.scale = scale
         if fail_fast:
             max_failures = 1 if max_failures is None else min(1, max_failures)
+        if memory_budget_mb is not None:
+            # Exported (like the checkpoint/profile knobs) so forked and
+            # spawned pool workers inherit the budget.
+            os.environ[supervise.MEMORY_BUDGET_ENV] = str(memory_budget_mb)
         self.engine = SweepEngine(
             cache=build_result_cache(cache_dir, use_cache),
             jobs=jobs,
@@ -437,6 +479,8 @@ class ExperimentRunner:
             max_failures=max_failures,
             manifest=manifest,
             failure_report_dir=failure_report_dir,
+            heartbeat_interval=heartbeat_interval,
+            quarantine_dir=quarantine_dir,
         )
         self._cache: Dict[str, SimulationResult] = {}
 

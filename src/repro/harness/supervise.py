@@ -1,0 +1,432 @@
+"""Supervised worker runtime: heartbeats, budgets, quarantine, shutdown.
+
+The sweep engine (:mod:`repro.harness.sweep`) runs simulations in worker
+processes it cannot look inside.  This module is the protocol between
+the two sides:
+
+* **Liveness heartbeats.**  Each worker periodically writes a tiny
+  ``{cycle, wall, peak_rss_kb, pid}`` record to a per-run heartbeat file
+  (:class:`HeartbeatWriter`, driven by the same run-loop hook cadence as
+  checkpoint auto-snapshots).  The engine-side supervisor reads the
+  record's age to distinguish *slow but progressing* (fresh heartbeat,
+  advancing cycle) from *wedged* (silent past the stall threshold), so a
+  stuck run is killed and requeued long before its full ``--timeout``
+  deadline expires.
+* **Resource governance.**  :class:`RunSentinel` is the worker-side
+  self-monitor: on every supervision tick it emits a heartbeat, enforces
+  the per-run memory budget (``resource.getrusage``, stdlib only) by
+  flushing a checkpoint and raising a picklable
+  :class:`~repro.sim.errors.MemoryBudgetExceeded`, and honors shutdown
+  requests by flushing a checkpoint and raising
+  :class:`~repro.sim.errors.WorkerInterrupted`.
+* **Poison-spec quarantine.**  :class:`QuarantineRegistry` is a
+  directory of ``<key>.json`` failure reports; a spec that crashes or
+  wedges workers on every attempt is written there and skipped by later
+  sweeps, so one bad cell can never starve the pool twice.
+* **Graceful shutdown.**  A process-wide flag
+  (:func:`request_shutdown` / :func:`shutdown_requested`) set by the
+  engine's first SIGTERM/SIGINT — and by
+  :func:`install_worker_signal_handlers` inside pool workers — stops
+  admission and lets in-flight runs checkpoint and bow out.
+* **Disk-pressure degradation.**  :func:`is_disk_pressure` classifies
+  ``ENOSPC``/``EDQUOT``; heartbeat writes that hit them warn once and
+  disable themselves instead of crashing the run.
+
+Everything here is engine-agnostic and importable from workers: it
+depends only on the sim layer (errors, checkpoint helpers), never on
+:mod:`repro.harness.sweep`, so ``sweep`` -> ``supervise`` stays a
+one-way dependency.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import resource
+import signal
+import sys
+import threading
+import time
+import warnings
+from pathlib import Path
+from typing import Dict, Optional, Set, Union
+
+from repro.sim.checkpoint import atomic_write_json
+from repro.sim.errors import MemoryBudgetExceeded, WorkerInterrupted
+
+#: Directory the per-run heartbeat files are written into.  Exported by
+#: the engine before it creates the worker pool (the same pattern as
+#: ``$REPRO_CHECKPOINT_DIR``), so forked/spawned workers inherit it.
+HEARTBEAT_DIR_ENV = "REPRO_HEARTBEAT_DIR"
+
+#: Minimum seconds between heartbeat writes (wall-clock gate).
+HEARTBEAT_INTERVAL_ENV = "REPRO_HEARTBEAT_INTERVAL"
+
+#: Per-run peak-RSS budget in megabytes, enforced by worker
+#: self-monitoring (:class:`RunSentinel`).
+MEMORY_BUDGET_ENV = "REPRO_MEMORY_BUDGET_MB"
+
+#: Heartbeat record format version.
+HEARTBEAT_SCHEMA = 1
+
+#: Default wall-clock seconds between heartbeat writes.
+DEFAULT_HEARTBEAT_INTERVAL = 5.0
+
+#: Cycle cadence of the run-loop supervision hook (the heartbeat/budget
+#: tick).  Deliberately much finer than the checkpoint interval — the
+#: tick itself is wall-clock-gated, so a fine cycle cadence costs one
+#: integer compare per loop iteration, not one file write.
+SUPERVISION_HOOK_CYCLES = 1000
+
+#: A run whose heartbeat is older than ``interval * stall_grace`` (with
+#: this floor, covering worker startup and trace generation) is wedged.
+WEDGE_GRACE_FLOOR = 2.0
+
+
+def heartbeat_dir_from_env() -> Optional[Path]:
+    """Directory named by ``$REPRO_HEARTBEAT_DIR``, or None when unset."""
+    value = os.environ.get(HEARTBEAT_DIR_ENV, "").strip()
+    return Path(value) if value else None
+
+
+def heartbeat_interval_from_env() -> float:
+    """Heartbeat write interval from ``$REPRO_HEARTBEAT_INTERVAL``.
+
+    Falls back to :data:`DEFAULT_HEARTBEAT_INTERVAL` when unset or
+    unparsable — a bad value inherited through the environment must not
+    kill a worker.
+    """
+    value = os.environ.get(HEARTBEAT_INTERVAL_ENV, "").strip()
+    try:
+        interval = float(value)
+    except ValueError:
+        return DEFAULT_HEARTBEAT_INTERVAL
+    return interval if interval >= 0 else DEFAULT_HEARTBEAT_INTERVAL
+
+
+def memory_budget_kb_from_env() -> Optional[int]:
+    """Per-run peak-RSS budget in KB from ``$REPRO_MEMORY_BUDGET_MB``."""
+    value = os.environ.get(MEMORY_BUDGET_ENV, "").strip()
+    try:
+        budget_mb = float(value)
+    except ValueError:
+        return None
+    return int(budget_mb * 1024) if budget_mb > 0 else None
+
+
+def heartbeat_path_for(
+    benchmark: str, key: str, directory: Union[str, Path]
+) -> Path:
+    """Canonical heartbeat location for a run under ``directory``.
+
+    ``<benchmark>-<key[:12]>.hb.json`` — the same key prefix as cached
+    results, profiles, and checkpoints, so one run's artifacts correlate,
+    and deterministic across processes, which is what lets the engine
+    find the heartbeat a worker is writing.
+    """
+    return Path(directory) / f"{benchmark}-{key[:12]}.hb.json"
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process in kilobytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS (matching
+    :func:`repro.harness.perf` conventions).
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        peak //= 1024
+    return int(peak)
+
+
+def is_disk_pressure(exc: BaseException) -> bool:
+    """True when ``exc`` is an out-of-space condition (ENOSPC/EDQUOT)."""
+    if not isinstance(exc, OSError):
+        return False
+    return exc.errno in (errno.ENOSPC, getattr(errno, "EDQUOT", -1))
+
+
+def read_heartbeat(path: Union[str, Path]) -> Optional[Dict]:
+    """Latest heartbeat record at ``path``, or None when absent.
+
+    A torn or unreadable record degrades to ``{"wall": <mtime>}`` —
+    enough for staleness checks even when the payload is unusable
+    (heartbeat writes are atomic, so this is rare).
+    """
+    path = Path(path)
+    try:
+        record = json.loads(path.read_text(encoding="utf-8"))
+        if isinstance(record, dict) and "wall" in record:
+            return record
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError, UnicodeDecodeError):
+        pass
+    try:
+        return {"wall": path.stat().st_mtime}
+    except OSError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Graceful-shutdown flag
+# ----------------------------------------------------------------------
+
+_SHUTDOWN = threading.Event()
+
+
+def request_shutdown() -> None:
+    """Raise the process-wide graceful-shutdown flag (idempotent)."""
+    _SHUTDOWN.set()
+
+
+def shutdown_requested() -> bool:
+    """True once a graceful shutdown has been requested in this process."""
+    return _SHUTDOWN.is_set()
+
+
+def reset_shutdown() -> None:
+    """Clear the shutdown flag (tests and deliberate sweep restarts)."""
+    _SHUTDOWN.clear()
+
+
+def _worker_signal_handler(signum: int, frame: object) -> None:
+    """Pool-worker handler: convert SIGTERM/SIGINT into the flag.
+
+    The run sentinel observes the flag at its next tick, flushes a
+    checkpoint, and raises :class:`~repro.sim.errors.WorkerInterrupted`
+    — a controlled exit instead of an instant kill mid-write.
+    """
+    request_shutdown()
+
+
+def install_worker_signal_handlers() -> None:
+    """Install graceful SIGTERM/SIGINT handling in a pool worker.
+
+    Idempotent; silently a no-op off the main thread or on platforms
+    without these signals (a worker must never die because it could not
+    customize signal disposition).
+    """
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(sig, _worker_signal_handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            return
+
+
+# ----------------------------------------------------------------------
+# Worker side: heartbeat writer + run sentinel
+# ----------------------------------------------------------------------
+
+
+class HeartbeatWriter:
+    """Wall-clock-gated writer of per-run heartbeat records.
+
+    ``beat()`` is cheap to call often (the supervision hook fires every
+    :data:`SUPERVISION_HOOK_CYCLES` cycles): it only touches the disk
+    once per ``interval`` seconds.  Writes are atomic (shared
+    :func:`~repro.sim.checkpoint.atomic_write_json` helper) so the
+    engine never reads a torn record.  Disk pressure (ENOSPC/EDQUOT)
+    warns once and disables the sink — liveness reporting degrades, the
+    simulation itself survives.
+    """
+
+    def __init__(self, path: Union[str, Path], interval: float) -> None:
+        self.path = Path(path)
+        self.interval = max(0.0, float(interval))
+        self.enabled = True
+        self.writes = 0
+        self.dropped = 0
+        self._last = float("-inf")
+
+    def beat(self, cycle: int, force: bool = False) -> None:
+        """Write a heartbeat record when the interval has elapsed."""
+        if not self.enabled:
+            return
+        now = time.monotonic()
+        if not force and now - self._last < self.interval:
+            return
+        record = {
+            "schema": HEARTBEAT_SCHEMA,
+            "pid": os.getpid(),
+            "cycle": int(cycle),
+            "wall": time.time(),
+            "peak_rss_kb": peak_rss_kb(),
+        }
+        try:
+            atomic_write_json(self.path, record)
+        except OSError as exc:
+            self.dropped += 1
+            if is_disk_pressure(exc):
+                self.enabled = False
+                warnings.warn(
+                    f"heartbeat writes to {self.path} disabled ({exc}); "
+                    "the supervisor will fall back to the full deadline",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return
+        self._last = now
+        self.writes += 1
+
+    def close(self) -> None:
+        """Remove the heartbeat file (a completed run needs no liveness)."""
+        try:
+            self.path.unlink(missing_ok=True)
+        except OSError:
+            pass
+
+
+class RunSentinel:
+    """Worker-side self-monitor attached to a simulator's run loop.
+
+    On every supervision tick (every :data:`SUPERVISION_HOOK_CYCLES`
+    simulated cycles) the sentinel:
+
+    1. emits a liveness heartbeat (wall-clock gated),
+    2. honors a pending graceful-shutdown request — flush a checkpoint
+       if one is armed, then raise
+       :class:`~repro.sim.errors.WorkerInterrupted`,
+    3. enforces the peak-RSS budget — flush a checkpoint, then raise
+       :class:`~repro.sim.errors.MemoryBudgetExceeded`.
+
+    Both exceptions are picklable :class:`~repro.sim.errors.SimulationError`
+    subclasses, so they cross the pool pipe losslessly and are never
+    treated as retryable infrastructure faults.
+    """
+
+    def __init__(
+        self,
+        heartbeat: Optional[HeartbeatWriter] = None,
+        memory_budget_kb: Optional[int] = None,
+    ) -> None:
+        self.heartbeat = heartbeat
+        self.memory_budget_kb = memory_budget_kb
+        if heartbeat is not None:
+            # First beat immediately: it records this worker's pid before
+            # trace generation starts, so the engine can relay signals to
+            # (or reclaim) the worker even if the run wedges early.
+            heartbeat.beat(0, force=True)
+
+    def attach(self, sim: object) -> None:
+        """Arm ``sim``'s run loop to call :meth:`tick` periodically."""
+        sim.supervision_interval = SUPERVISION_HOOK_CYCLES
+        sim.supervision_hook = self.tick
+
+    def tick(self, sim: object) -> None:
+        """One supervision tick (called by the simulator's run loop)."""
+        if self.heartbeat is not None:
+            self.heartbeat.beat(sim.cycle)
+        if shutdown_requested():
+            self._flush_checkpoint(sim)
+            raise WorkerInterrupted(
+                f"graceful shutdown requested; run interrupted at cycle "
+                f"{sim.cycle} (checkpoint flushed if armed)",
+                snapshot={"cycle": sim.cycle, "pid": os.getpid()},
+            )
+        budget = self.memory_budget_kb
+        if budget is not None:
+            rss = peak_rss_kb()
+            if rss > budget:
+                self._flush_checkpoint(sim)
+                raise MemoryBudgetExceeded(
+                    f"peak RSS {rss} KB exceeded the {budget} KB budget at "
+                    f"cycle {sim.cycle} (checkpoint flushed if armed)",
+                    snapshot={
+                        "cycle": sim.cycle,
+                        "peak_rss_kb": rss,
+                        "budget_kb": budget,
+                        "pid": os.getpid(),
+                    },
+                )
+
+    @staticmethod
+    def _flush_checkpoint(sim: object) -> None:
+        """Best-effort final snapshot before a structured worker exit."""
+        write = getattr(sim, "checkpoint_write", None)
+        if write is None:
+            return
+        try:
+            write(sim)
+        except OSError:  # pragma: no cover - best-effort by design
+            pass
+
+    def close(self) -> None:
+        """Tear down after a successful run (removes the heartbeat)."""
+        if self.heartbeat is not None:
+            self.heartbeat.close()
+
+
+def sentinel_from_env(benchmark: str, key: str) -> RunSentinel:
+    """Build the worker-side sentinel for one run from the environment.
+
+    Heartbeats are emitted when ``$REPRO_HEARTBEAT_DIR`` names a
+    directory (the engine exports it before creating the pool); the
+    memory budget comes from ``$REPRO_MEMORY_BUDGET_MB``.  With neither
+    set, the sentinel still performs the shutdown check — that is what
+    lets an inline run checkpoint and bow out on SIGTERM.
+    """
+    heartbeat: Optional[HeartbeatWriter] = None
+    directory = heartbeat_dir_from_env()
+    if directory is not None:
+        heartbeat = HeartbeatWriter(
+            heartbeat_path_for(benchmark, key, directory),
+            heartbeat_interval_from_env(),
+        )
+    return RunSentinel(
+        heartbeat=heartbeat, memory_budget_kb=memory_budget_kb_from_env()
+    )
+
+
+# ----------------------------------------------------------------------
+# Poison-spec quarantine
+# ----------------------------------------------------------------------
+
+
+class QuarantineRegistry:
+    """Directory of ``<key>.json`` failure reports for poisonous specs.
+
+    A spec lands here when it exhausted its retry budget by crashing or
+    wedging workers on *every* attempt — the signature of a run that
+    will never succeed and only starves the pool.  Sweeps consult the
+    registry up front and skip quarantined keys with an immediate
+    ``quarantined`` failure instead of burning retries again; deleting a
+    report file (or pointing at a fresh directory) lifts the quarantine.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, key: str) -> Path:
+        """Report location for a fingerprint key."""
+        return self.directory / f"{key}.json"
+
+    def load(self) -> Set[str]:
+        """The set of quarantined fingerprint keys on disk."""
+        try:
+            return {
+                path.stem
+                for path in self.directory.glob("*.json")
+                if len(path.stem) == 64
+            }
+        except OSError:  # pragma: no cover - unreadable registry dir
+            return set()
+
+    def quarantine(self, failure: object) -> Optional[Path]:
+        """Write a failure's report into the registry (best-effort).
+
+        ``failure`` is a :class:`~repro.harness.sweep.RunFailure` (duck
+        typed via its ``write_report``/``key`` members to keep this
+        module free of sweep imports).  Returns the report path, or None
+        when the write failed — quarantine is a protection mechanism and
+        must never crash the sweep it protects.
+        """
+        try:
+            return failure.write_report(self.path_for(failure.key))
+        except OSError:
+            return None
+
+    def is_quarantined(self, key: str) -> bool:
+        """True when ``key`` has a quarantine report on disk."""
+        return self.path_for(key).is_file()

@@ -47,6 +47,25 @@ Fault-tolerance model (the integrity layer of the harness):
   runs fail (``fail_fast`` is the 1-failure special case); unexecuted
   runs are recorded as ``aborted`` failures, so callers always receive
   one outcome per input spec.
+* **Supervised liveness** (see :mod:`repro.harness.supervise`).  With a
+  ``heartbeat_interval`` set, every pooled worker writes periodic
+  liveness heartbeats and the engine kills+requeues a heartbeat-silent
+  (*wedged*) run well before its full ``timeout`` deadline, while a slow
+  but progressing run is left alone.
+* **Resource governance.**  Workers self-enforce the per-run memory
+  budget (``$REPRO_MEMORY_BUDGET_MB``) with a structured
+  :class:`~repro.sim.errors.MemoryBudgetExceeded`; disk pressure on
+  cache/manifest/heartbeat writes warns once and disables that sink
+  (with dropped-write counts in the sweep summary) instead of crashing.
+* **Poison-spec quarantine.**  With a ``quarantine_dir`` attached, a
+  spec that crashes or wedges workers on every attempt is quarantined
+  with a failure report and skipped by later sweeps instead of burning
+  their retry budgets again.
+* **Graceful shutdown.**  The first SIGTERM/SIGINT during a sweep stops
+  admission, drains in-flight runs (which flush checkpoints), journals a
+  final manifest record, and raises :class:`SweepInterrupted`; the CLI
+  exits 130 and a re-invocation with the same ``--manifest`` resumes
+  exactly.  A second signal forces immediate exit.
 
 Cache invalidation contract: :data:`SCHEMA_VERSION` must be bumped
 whenever a change alters simulation semantics (timing model, prefetcher
@@ -62,13 +81,19 @@ the worker so that ``runner`` can import ``sweep`` without a cycle.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
+import errno
 import hashlib
 import json
 import os
+import signal
 import sys
+import tempfile
+import threading
 import time
 import traceback
+import warnings
 from collections import deque
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -90,11 +115,14 @@ from typing import (
     Union,
 )
 
-from repro.sim.checkpoint import checkpoint_dir_from_env
+from repro.harness import supervise
+from repro.harness.supervise import QuarantineRegistry, is_disk_pressure
+from repro.sim.checkpoint import checkpoint_dir_from_env, free_bytes
 from repro.sim.config import GpuConfig
 from repro.sim.errors import (
     FAILURE_REPORT_SCHEMA,
     SimulationError,
+    WorkerInterrupted,
     write_failure_report,
 )
 from repro.sim.gpu import SimulationResult
@@ -126,12 +154,44 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: the identical failure at full simulation cost.
 TRANSIENT_EXCEPTIONS = (BrokenExecutor, OSError, EOFError, ConnectionError)
 
+#: ``OSError`` errnos that denote deterministic environment failures —
+#: a full disk, a quota, a permission wall, a path that does not exist.
+#: Retrying these burns the whole retry budget (at full simulation cost)
+#: on an attempt that can never succeed, so they are classified as
+#: permanent.  An ``OSError`` with *no* errno (e.g. a pool pipe tearing
+#: mid-pickle) stays transient: it signals infrastructure, not policy.
+PERMANENT_OS_ERRNOS = frozenset(
+    {
+        errno.EACCES,
+        errno.EPERM,
+        errno.EROFS,
+        errno.ENOSPC,
+        getattr(errno, "EDQUOT", -1),
+        errno.ENOENT,
+        errno.ENOTDIR,
+        errno.EISDIR,
+        errno.ENAMETOOLONG,
+    }
+)
+
 
 def is_transient_failure(exc: BaseException) -> bool:
-    """True when retrying ``exc``'s run could plausibly succeed."""
+    """True when retrying ``exc``'s run could plausibly succeed.
+
+    Structured simulation failures are deterministic, hence permanent.
+    ``OSError`` is classified by errno: resource exhaustion and
+    permission errors (:data:`PERMANENT_OS_ERRNOS`) fail identically on
+    every attempt, while connection/pipe-level errors (and errno-less
+    ``OSError``\\ s from pool infrastructure) remain retryable.
+    """
     if isinstance(exc, SimulationError):
         return False
-    return isinstance(exc, TRANSIENT_EXCEPTIONS)
+    if not isinstance(exc, TRANSIENT_EXCEPTIONS):
+        return False
+    if isinstance(exc, OSError) and not isinstance(exc, ConnectionError):
+        if exc.errno in PERMANENT_OS_ERRNOS:
+            return False
+    return True
 
 
 @dataclass(frozen=True)
@@ -165,9 +225,14 @@ class RunFailure:
     carries the original exception object when one is available (both the
     inline path and the pool path preserve it), so strict callers can
     re-raise it.  ``kind`` is the failure taxonomy tag: ``"exception"``,
-    ``"timeout"``, ``"truncated"``, ``"invariant"``, ``"deadlock"``, or
-    ``"aborted"``.  ``report`` holds the diagnostic snapshot payload when
-    the failure was a :class:`~repro.sim.errors.SimulationError`.
+    ``"timeout"``, ``"truncated"``, ``"invariant"``, ``"deadlock"``,
+    ``"wedged"`` (heartbeat-silent worker killed by the supervisor),
+    ``"memory-budget"``, ``"interrupted"``, ``"quarantined"`` (skipped —
+    the spec was poisoned by a previous sweep), ``"shutdown"`` (not
+    executed before a graceful shutdown), or ``"aborted"``.  ``report``
+    holds the diagnostic snapshot payload when the failure was a
+    :class:`~repro.sim.errors.SimulationError`, and ``quarantined`` is
+    set once the failure has been written into a quarantine registry.
     """
 
     spec: RunSpec
@@ -178,6 +243,7 @@ class RunFailure:
     exception: Optional[BaseException] = None
     attempts: int = 1
     report: Optional[Dict] = None
+    quarantined: bool = False
 
     def to_report(self) -> Dict:
         """Serialize into a failure-report payload (plain JSON types)."""
@@ -194,6 +260,8 @@ class RunFailure:
             payload["traceback"] = self.traceback
         if self.report is not None:
             payload["diagnostic"] = self.report
+        if self.quarantined:
+            payload["quarantined"] = True
         return payload
 
     def write_report(self, path: Union[str, Path]) -> Path:
@@ -247,8 +315,12 @@ class ResultCache:
     concurrent sweep workers and concurrent sweeps can share a directory;
     corrupt or unreadable entries — truncated JSON, schema mismatches,
     torn files from a crashed writer — are treated as misses.  I/O errors
-    degrade gracefully: a cache that cannot write simply stops caching.
-    Truncated results are never stored.
+    degrade gracefully but *audibly*: the first failed write emits a
+    ``RuntimeWarning``, every dropped write is counted (``dropped``, and
+    surfaced in the sweep summary), and disk pressure (ENOSPC/EDQUOT)
+    disables the sink for the rest of the process instead of shredding
+    the remaining free blocks with doomed temp files.  Truncated results
+    are never stored.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
@@ -257,6 +329,9 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.errors = 0
+        self.dropped = 0
+        self.disabled = False
+        self._warned = False
 
     def path_for(self, key: str) -> Path:
         """On-disk location for a fingerprint key (two-level fan-out)."""
@@ -288,6 +363,9 @@ class ResultCache:
             # A truncated run is not a result; caching it would let a
             # partial simulation masquerade as a completed one forever.
             return
+        if self.disabled:
+            self.dropped += 1
+            return
         path = self.path_for(key)
         payload = {
             "schema": SCHEMA_VERSION,
@@ -301,8 +379,23 @@ class ResultCache:
             with open(tmp, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh, sort_keys=True)
             os.replace(tmp, path)
-        except OSError:
+        except OSError as exc:
             self.errors += 1
+            self.dropped += 1
+            if is_disk_pressure(exc):
+                self.disabled = True
+            if not self._warned:
+                self._warned = True
+                detail = (
+                    "caching disabled for the rest of this process"
+                    if self.disabled
+                    else "entry dropped"
+                )
+                warnings.warn(
+                    f"result cache write to {path} failed ({exc}); {detail}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             return
         self.stores += 1
 
@@ -338,6 +431,12 @@ def build_result_cache(
 # Checkpointed sweep manifest
 # ----------------------------------------------------------------------
 
+#: Minimum free bytes required before a manifest append is attempted.
+#: One journal line is well under a kilobyte; the floor exists so a
+#: nearly-full disk degrades to counted, warned-about drops instead of
+#: an ENOSPC storm from inside the fsync path.
+MANIFEST_FREE_SPACE_FLOOR = 1 << 20
+
 
 class SweepManifest:
     """Append-only JSONL journal of per-spec sweep outcomes.
@@ -353,10 +452,19 @@ class SweepManifest:
     Records from a different :data:`SCHEMA_VERSION` are ignored: a
     simulator-semantics change makes old results unusable, exactly as
     with the result cache.
+
+    Appends are preflighted against a small free-space floor and fail
+    loudly-but-safely: the first dropped append emits a
+    ``RuntimeWarning`` (a silent journal gap would surface much later as
+    a mysteriously re-executed run), every drop is counted in
+    ``dropped`` and surfaced in the sweep summary, and the sweep itself
+    continues.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
+        self.dropped = 0
+        self._warned = False
 
     def load(self) -> Dict[str, Dict]:
         """Latest valid record per key; empty when the journal is absent.
@@ -395,6 +503,12 @@ class SweepManifest:
         record = {"schema": SCHEMA_VERSION, **record}
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
+            space = free_bytes(self.path.parent)
+            if space is not None and space < MANIFEST_FREE_SPACE_FLOOR:
+                raise OSError(
+                    errno.ENOSPC,
+                    f"free space below {MANIFEST_FREE_SPACE_FLOOR} byte floor",
+                )
             with open(self.path, "a", encoding="utf-8") as fh:
                 fh.write(json.dumps(record, sort_keys=True) + "\n")
                 # Push the record through to stable storage before the
@@ -403,8 +517,16 @@ class SweepManifest:
                 # userspace buffer that died with the process.
                 fh.flush()
                 os.fsync(fh.fileno())
-        except OSError:
-            pass  # journaling is best-effort, like the result cache
+        except OSError as exc:
+            self.dropped += 1
+            if not self._warned:
+                self._warned = True
+                warnings.warn(
+                    f"sweep manifest append to {self.path} dropped ({exc}); "
+                    "resume coverage for this sweep will be incomplete",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     def record_success(self, key: str, spec: RunSpec, stats: SimStats) -> None:
         """Journal a completed run so a resumed sweep can replay it."""
@@ -430,6 +552,18 @@ class SweepManifest:
             }
         )
 
+    def record_final(self, summary: Dict) -> None:
+        """Journal the sweep-final summary record.
+
+        Uses the reserved key ``"__sweep__"`` (spec keys are 64-char hex
+        fingerprints, so the two namespaces can never collide).  This is
+        what *finalizes* the manifest on both normal completion and
+        graceful shutdown: a reader can tell a journal that simply stops
+        (crash) from one whose sweep ended deliberately, interrupted or
+        not.
+        """
+        self._append({"key": "__sweep__", "status": "final", **summary})
+
 
 # ----------------------------------------------------------------------
 # Progress / ETA reporting
@@ -439,9 +573,18 @@ class SweepManifest:
 class ProgressReporter:
     """Single-line progress + ETA reporter for long sweeps.
 
-    Writes carriage-return-updated status lines to ``stream`` (stderr by
-    default).  Disabled reporters are no-ops, so the engine can call them
-    unconditionally.
+    On a TTY, writes carriage-return-updated status lines to ``stream``
+    (stderr by default).  On a non-TTY stream (a log file, a CI pipe, a
+    captured test stream) carriage returns would pile every intermediate
+    update into one unreadable line, so only the final status line is
+    written, ``\\r``-free.  Disabled reporters are no-ops, so the engine
+    can call them unconditionally.
+
+    Beyond done/cached/failed, the line breaks out ``quarantined``
+    (skipped poisoned specs) and ``aborted`` (unexecuted after the
+    ``max_failures`` budget) counts when nonzero, and ``finish`` can
+    append a one-line sweep summary (dropped cache/manifest writes,
+    interruption status).
     """
 
     def __init__(self, enabled: bool = True, stream: Optional[TextIO] = None,
@@ -453,7 +596,20 @@ class ProgressReporter:
         self.done = 0
         self.cached = 0
         self.failed = 0
+        self.quarantined = 0
+        self.aborted = 0
         self._t0 = 0.0
+        self._tty = self._stream_is_tty()
+
+    def _stream_is_tty(self) -> bool:
+        """Best-effort TTY probe (closed/odd streams count as non-TTY)."""
+        probe = getattr(self.stream, "isatty", None)
+        if probe is None:
+            return False
+        try:
+            return bool(probe())
+        except (ValueError, OSError):
+            return False
 
     def start(self, total: int, cached: int = 0) -> None:
         """Begin a sweep of ``total`` runs, ``cached`` already satisfied."""
@@ -461,26 +617,46 @@ class ProgressReporter:
         self.done = cached
         self.cached = cached
         self.failed = 0
+        self.quarantined = 0
+        self.aborted = 0
         self._t0 = time.monotonic()
+        self._tty = self._stream_is_tty()
         self._emit()
 
-    def step(self, failed: bool = False) -> None:
-        """Record one finished run and refresh the progress line."""
+    def step(
+        self,
+        failed: bool = False,
+        quarantined: bool = False,
+        aborted: bool = False,
+    ) -> None:
+        """Record one finished run and refresh the progress line.
+
+        ``quarantined`` and ``aborted`` runs are failures too (they
+        produced no stats) and are counted under both tallies.
+        """
         self.done += 1
-        if failed:
+        if quarantined:
+            self.quarantined += 1
+        if aborted:
+            self.aborted += 1
+        if failed or quarantined or aborted:
             self.failed += 1
         self._emit()
 
-    def finish(self) -> None:
-        """Terminate the progress line at the end of a sweep."""
+    def finish(self, summary: Optional[str] = None) -> None:
+        """Terminate the progress line; optionally append a summary line."""
         if self.enabled and self.total:
-            self._emit()
+            self._emit(final=True)
             self.stream.write("\n")
+            if summary:
+                self.stream.write(f"[{self.label}] {summary}\n")
             self.stream.flush()
 
-    def _emit(self) -> None:
+    def _emit(self, final: bool = False) -> None:
         if not self.enabled or not self.total:
             return
+        if not final and not self._tty:
+            return  # intermediate \r updates are noise in a log file
         elapsed = time.monotonic() - self._t0
         simulated = self.done - self.cached
         if simulated > 0 and self.done < self.total:
@@ -488,12 +664,17 @@ class ProgressReporter:
             eta_text = f" eta {eta:6.1f}s"
         else:
             eta_text = ""
+        extras = ""
+        if self.quarantined:
+            extras += f", {self.quarantined} quarantined"
+        if self.aborted:
+            extras += f", {self.aborted} aborted"
         line = (
             f"[{self.label}] {self.done}/{self.total} done"
-            f" ({self.cached} cached, {self.failed} failed)"
+            f" ({self.cached} cached, {self.failed} failed{extras})"
             f" elapsed {elapsed:6.1f}s{eta_text}"
         )
-        self.stream.write("\r" + line)
+        self.stream.write(("\r" if self._tty else "") + line)
         self.stream.flush()
 
 
@@ -510,9 +691,14 @@ def _sweep_worker(spec: RunSpec) -> SimStats:
     object graph (cores, DRAM) stays in the worker.  Structured
     simulation failures (deadlock, truncation, invariant violations)
     pickle losslessly, diagnostic snapshot included.
+
+    Graceful SIGTERM/SIGINT handling is (re-)installed explicitly: fork
+    workers inherit the engine's handler, but spawn workers start with
+    the default disposition and would die mid-write without this.
     """
     from repro.harness.runner import run_spec
 
+    supervise.install_worker_signal_handlers()
     return run_spec(spec).stats
 
 
@@ -525,6 +711,36 @@ class _PendingRun:
     attempt: int = 0
     deadline: Optional[float] = None
     not_before: float = 0.0  # backoff gate for retries
+    submitted_wall: float = 0.0  # wall clock of the last submit (liveness)
+    collateral: int = 0  # free requeues granted after a supervised kill
+
+
+class SweepInterrupted(RuntimeError):
+    """A sweep ended early because a graceful shutdown was requested.
+
+    Raised by :meth:`SweepEngine.run` after the first SIGTERM/SIGINT:
+    admission has stopped, in-flight runs have drained (flushing their
+    checkpoints), every completed result is journaled, and the manifest
+    carries a final ``interrupted`` record.  Re-invoking the same sweep
+    with the same manifest resumes exactly where this one stopped.
+
+    Attributes:
+        done: Unique runs with a recorded outcome at shutdown.
+        pending: Unique runs never admitted (or drained unrecorded).
+        manifest: Path of the finalized manifest, or None.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        done: int = 0,
+        pending: int = 0,
+        manifest: Optional[Path] = None,
+    ) -> None:
+        super().__init__(message)
+        self.done = done
+        self.pending = pending
+        self.manifest = manifest
 
 
 # ----------------------------------------------------------------------
@@ -568,6 +784,25 @@ class SweepEngine:
             for resumable sweeps.
         failure_report_dir: When set, every failure writes a diagnostic
             JSON report to ``<dir>/<key>.json``.
+        heartbeat_interval: Seconds between worker liveness heartbeats.
+            Setting it turns on supervision for pooled runs: workers
+            write per-run heartbeat files and the engine kills+requeues
+            a heartbeat-silent run after ``heartbeat_interval *
+            stall_grace`` seconds (floor 2 s) instead of waiting out the
+            full ``timeout``.  ``None`` disables supervision.
+        heartbeat_dir: Directory for the heartbeat files (a private temp
+            directory when unset).
+        stall_grace: Multiples of ``heartbeat_interval`` of silence
+            tolerated before a run is declared wedged.
+        quarantine_dir: Poison-spec registry directory.  Specs already
+            quarantined there are skipped; specs that exhaust their
+            retry budget by crashing/wedging on *every* attempt are
+            written into it.  ``None`` disables quarantine.
+        graceful_shutdown: Install SIGTERM/SIGINT handlers for the
+            duration of :meth:`run` — first signal drains and raises
+            :class:`SweepInterrupted`, second forces immediate exit.
+        drain_timeout: Maximum seconds to wait for in-flight runs to
+            finish (or checkpoint and bow out) after a shutdown request.
     """
 
     def __init__(
@@ -582,6 +817,12 @@ class SweepEngine:
         max_failures: Optional[int] = None,
         manifest: Union[SweepManifest, str, Path, None] = None,
         failure_report_dir: Union[str, Path, None] = None,
+        heartbeat_interval: Optional[float] = None,
+        heartbeat_dir: Union[str, Path, None] = None,
+        stall_grace: float = 5.0,
+        quarantine_dir: Union[str, Path, None] = None,
+        graceful_shutdown: bool = True,
+        drain_timeout: float = 30.0,
     ) -> None:
         self.cache = cache
         self.jobs = max(1, int(jobs))
@@ -597,6 +838,22 @@ class SweepEngine:
         self.failure_report_dir = (
             Path(failure_report_dir) if failure_report_dir is not None else None
         )
+        self.heartbeat_interval = (
+            max(0.05, float(heartbeat_interval))
+            if heartbeat_interval is not None
+            else None
+        )
+        self.heartbeat_dir = (
+            Path(heartbeat_dir) if heartbeat_dir is not None else None
+        )
+        self.stall_grace = max(1.0, float(stall_grace))
+        self.quarantine = (
+            QuarantineRegistry(quarantine_dir)
+            if quarantine_dir is not None
+            else None
+        )
+        self.graceful_shutdown = graceful_shutdown
+        self.drain_timeout = max(0.0, float(drain_timeout))
         # Cumulative counters, exposed so callers (and the acceptance
         # tests) can verify e.g. that a warm re-run simulated nothing.
         self.simulated = 0
@@ -604,51 +861,194 @@ class SweepEngine:
         self.manifest_hits = 0
         self.failures = 0
         self.retried = 0
+        self.wedged = 0  # heartbeat-silent runs killed by the supervisor
+        self.quarantined = 0  # newly-poisoned specs written to the registry
+        self.quarantine_skips = 0  # runs skipped because already poisoned
+        self.interrupted = False  # the last run() ended in a shutdown
         self._sweep_failures = 0  # per-run() failure count for max_failures
 
     # ------------------------------------------------------------------
 
     def run(self, specs: Sequence[RunSpec]) -> List[Outcome]:
-        """Execute a sweep; one outcome per input spec, in input order."""
+        """Execute a sweep; one outcome per input spec, in input order.
+
+        Raises :class:`SweepInterrupted` when a graceful shutdown arrives
+        mid-sweep (``graceful_shutdown=True``): everything completed so
+        far is journaled and the manifest is finalized, so the same call
+        with the same manifest resumes exactly.
+        """
         keys = [fingerprint(spec) for spec in specs]
         unique: Dict[str, RunSpec] = {}
         for key, spec in zip(keys, specs):
             unique.setdefault(key, spec)
 
         outcomes: Dict[str, Outcome] = {}
-        if self.cache is not None:
-            for key, spec in unique.items():
-                stats = self.cache.get(key)
-                if stats is not None:
+        self.interrupted = False
+        with self._signal_guard():
+            if self.cache is not None:
+                for key, spec in unique.items():
+                    stats = self.cache.get(key)
+                    if stats is not None:
+                        outcomes[key] = SimulationResult(stats)
+                        self.cache_hits += 1
+            if self.manifest is not None:
+                journal = self.manifest.load()
+                for key, spec in unique.items():
+                    if key in outcomes:
+                        continue
+                    record = journal.get(key)
+                    if record is None or record.get("status") != "done":
+                        continue
+                    try:
+                        stats = SimStats.from_dict(record["stats"])
+                    except (KeyError, TypeError):
+                        continue
                     outcomes[key] = SimulationResult(stats)
-                    self.cache_hits += 1
-        if self.manifest is not None:
-            journal = self.manifest.load()
-            for key, spec in unique.items():
-                if key in outcomes:
-                    continue
-                record = journal.get(key)
-                if record is None or record.get("status") != "done":
-                    continue
-                try:
-                    stats = SimStats.from_dict(record["stats"])
-                except (KeyError, TypeError):
-                    continue
-                outcomes[key] = SimulationResult(stats)
-                self.manifest_hits += 1
-                if self.cache is not None:
-                    self.cache.put(key, spec, stats)
+                    self.manifest_hits += 1
+                    if self.cache is not None:
+                        self.cache.put(key, spec, stats)
 
-        misses = [(k, s) for k, s in unique.items() if k not in outcomes]
-        self._sweep_failures = 0
-        self.progress.start(len(unique), cached=len(unique) - len(misses))
-        if misses:
-            if self.jobs <= 1 or len(misses) == 1:
-                self._run_inline(misses, outcomes)
-            else:
-                self._run_pool(misses, outcomes)
-        self.progress.finish()
+            replayed = len(outcomes)
+            poisoned: List[Tuple[str, RunSpec]] = []
+            if self.quarantine is not None:
+                registry = self.quarantine.load()
+                poisoned = [
+                    (k, s)
+                    for k, s in unique.items()
+                    if k not in outcomes and k in registry
+                ]
+
+            self._sweep_failures = 0
+            self.progress.start(len(unique), cached=replayed)
+            for key, spec in poisoned:
+                self._record_quarantine_skip(key, spec, outcomes)
+
+            misses = [(k, s) for k, s in unique.items() if k not in outcomes]
+            if misses:
+                if self.graceful_shutdown and supervise.shutdown_requested():
+                    self.interrupted = True
+                elif self.jobs <= 1 or len(misses) == 1:
+                    self._run_inline(misses, outcomes)
+                else:
+                    self._run_pool(misses, outcomes)
+            if self.graceful_shutdown and supervise.shutdown_requested():
+                self.interrupted = True
+            if self.interrupted:
+                self._finalize_interrupted(unique, outcomes)  # raises
+            if self.manifest is not None and misses:
+                self.manifest.record_final(self._final_summary(len(unique)))
+            self.progress.finish(summary=self._summary_text())
         return [outcomes[key] for key in keys]
+
+    # ------------------------------------------------------------------
+    # Graceful shutdown
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def _signal_guard(self):
+        """Install first-signal-drains / second-signal-exits handlers.
+
+        Active only on the main thread with ``graceful_shutdown`` on;
+        original dispositions are restored on exit.  The process-wide
+        shutdown flag is deliberately *not* reset here: a signal that
+        lands between two engine calls must still stop the next one.
+        """
+        if (
+            not self.graceful_shutdown
+            or threading.current_thread() is not threading.main_thread()
+        ):
+            yield
+            return
+        previous = {}
+        try:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                previous[sig] = signal.signal(sig, self._handle_shutdown_signal)
+        except (ValueError, OSError):  # pragma: no cover - odd platforms
+            for sig, old in previous.items():
+                signal.signal(sig, old)
+            previous = {}
+        try:
+            yield
+        finally:
+            for sig, old in previous.items():
+                signal.signal(sig, old)
+
+    def _handle_shutdown_signal(self, signum: int, frame: object) -> None:
+        """First SIGTERM/SIGINT requests a drain; the second forces exit."""
+        if supervise.shutdown_requested():
+            raise KeyboardInterrupt(
+                f"second shutdown signal ({signum}); forcing immediate exit"
+            )
+        supervise.request_shutdown()
+
+    def _finalize_interrupted(
+        self, unique: Dict[str, RunSpec], outcomes: Dict[str, Outcome]
+    ) -> None:
+        """Finalize the manifest and raise :class:`SweepInterrupted`."""
+        done = sum(1 for key in unique if key in outcomes)
+        pending = len(unique) - done
+        if self.manifest is not None:
+            summary = self._final_summary(len(unique))
+            summary["interrupted"] = True
+            summary["pending"] = pending
+            self.manifest.record_final(summary)
+        text = self._summary_text()
+        self.progress.finish(
+            summary=(
+                f"interrupted: {done}/{len(unique)} complete, "
+                f"{pending} pending" + (f"; {text}" if text else "")
+            )
+        )
+        where = (
+            f"; resume with the same manifest ({self.manifest.path})"
+            if self.manifest is not None
+            else ""
+        )
+        raise SweepInterrupted(
+            f"sweep interrupted by shutdown request: {done}/{len(unique)} "
+            f"runs complete, {pending} pending{where}",
+            done=done,
+            pending=pending,
+            manifest=self.manifest.path if self.manifest is not None else None,
+        )
+
+    def _final_summary(self, total: int) -> Dict:
+        """Payload for the manifest's sweep-final record."""
+        summary: Dict = {
+            "interrupted": False,
+            "total": total,
+            "failed": self.progress.failed,
+        }
+        if self.progress.quarantined:
+            summary["quarantined"] = self.progress.quarantined
+        if self.progress.aborted:
+            summary["aborted"] = self.progress.aborted
+        dropped = self._dropped_writes()
+        if dropped:
+            summary["dropped_writes"] = dropped
+        return summary
+
+    def _dropped_writes(self) -> int:
+        """Total cache + manifest writes dropped so far (disk pressure)."""
+        dropped = 0
+        if self.cache is not None:
+            dropped += self.cache.dropped
+        if self.manifest is not None:
+            dropped += self.manifest.dropped
+        return dropped
+
+    def _summary_text(self) -> Optional[str]:
+        """Human-readable anomaly summary for the progress stream."""
+        parts: List[str] = []
+        if self.progress.quarantined:
+            parts.append(f"{self.progress.quarantined} quarantined")
+        if self.progress.aborted:
+            parts.append(f"{self.progress.aborted} aborted")
+        if self.cache is not None and self.cache.dropped:
+            parts.append(f"{self.cache.dropped} cache write(s) dropped")
+        if self.manifest is not None and self.manifest.dropped:
+            parts.append(f"{self.manifest.dropped} manifest append(s) dropped")
+        return "; ".join(parts) if parts else None
 
     # ------------------------------------------------------------------
 
@@ -705,6 +1105,7 @@ class SweepEngine:
             attempts=attempts,
             report=report,
         )
+        self._maybe_quarantine(failure)
         outcomes[key] = failure
         self.failures += 1
         self._sweep_failures += 1
@@ -715,7 +1116,60 @@ class SweepEngine:
                 failure.write_report(self.failure_report_dir / f"{key}.json")
             except OSError:
                 pass
-        self.progress.step(failed=True)
+        self.progress.step(failed=True, quarantined=failure.quarantined)
+
+    def _maybe_quarantine(self, failure: RunFailure) -> None:
+        """Poison-spec detection: register repeat offenders.
+
+        A spec lands in quarantine when it exhausted its whole retry
+        budget (``attempts > retries``) with failures that *consumed*
+        retries — transient crashes or supervised kills (``wedged`` /
+        ``timeout``).  Deterministic one-shot failures (invariant
+        violations, truncation) are not poison: they never starved the
+        pool, and their reports already live in ``failure_report_dir``.
+        """
+        if self.quarantine is None:
+            return
+        if failure.attempts <= self.retries:
+            return
+        retry_burning = failure.kind in ("wedged", "timeout") or (
+            failure.exception is not None
+            and is_transient_failure(failure.exception)
+        )
+        if not retry_burning:
+            return
+        # Flag first so the registry report itself records the decision;
+        # reverted if the report cannot be written (no report, no ban).
+        failure.quarantined = True
+        if self.quarantine.quarantine(failure) is None:
+            failure.quarantined = False
+        else:
+            self.quarantined += 1
+
+    def _record_quarantine_skip(
+        self, key: str, spec: RunSpec, outcomes: Dict[str, Outcome]
+    ) -> None:
+        """Skip a spec poisoned by a previous sweep (no execution).
+
+        Deliberately does **not** count toward the ``max_failures``
+        abort budget (the spec was never attempted here) and is not
+        journaled as a failure — the quarantine registry itself is the
+        durable record, and deleting its report file lifts the ban.
+        """
+        outcomes[key] = RunFailure(
+            spec=spec,
+            key=key,
+            kind="quarantined",
+            error=(
+                "spec is quarantined as poisonous "
+                f"({self.quarantine.path_for(key)}); run not executed — "
+                "delete the report file to lift the quarantine"
+            ),
+            quarantined=True,
+        )
+        self.failures += 1
+        self.quarantine_skips += 1
+        self.progress.step(quarantined=True)
 
     def _record_aborted(
         self, items: Sequence[Tuple[str, RunSpec]], outcomes: Dict[str, Outcome]
@@ -733,7 +1187,7 @@ class SweepEngine:
                 ),
             )
             self.failures += 1
-            self.progress.step(failed=True)
+            self.progress.step(aborted=True)
 
     # ------------------------------------------------------------------
 
@@ -743,6 +1197,9 @@ class SweepEngine:
         from repro.harness.runner import run_spec
 
         for index, (key, spec) in enumerate(misses):
+            if self.graceful_shutdown and supervise.shutdown_requested():
+                self.interrupted = True
+                return
             if self._aborted():
                 self._record_aborted(misses[index:], outcomes)
                 return
@@ -756,6 +1213,15 @@ class SweepEngine:
                     else:
                         result = SimulationResult(self.worker(spec))
                 except Exception as exc:  # noqa: BLE001 - fault isolation
+                    if (
+                        isinstance(exc, WorkerInterrupted)
+                        and self.graceful_shutdown
+                        and supervise.shutdown_requested()
+                    ):
+                        # The run checkpointed and bowed out; leave it
+                        # unrecorded so a resumed sweep re-executes it.
+                        self.interrupted = True
+                        return
                     if is_transient_failure(exc) and attempt < self.retries:
                         attempt += 1
                         self.retried += 1
@@ -774,10 +1240,56 @@ class SweepEngine:
 
     # ------------------------------------------------------------------
 
+    def _heartbeat_path(self, run: _PendingRun) -> Path:
+        """Canonical heartbeat file for a pending run."""
+        return supervise.heartbeat_path_for(
+            run.spec.benchmark, run.key, self.heartbeat_dir
+        )
+
+    def _last_heartbeat(self, run: _PendingRun) -> Optional[Dict]:
+        """Latest heartbeat record for a run, or None when silent."""
+        return supervise.read_heartbeat(self._heartbeat_path(run))
+
+    def _clear_heartbeat(self, run: _PendingRun) -> None:
+        """Drop a stale heartbeat so the next attempt starts fresh."""
+        try:
+            self._heartbeat_path(run).unlink(missing_ok=True)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _kill_worker(pid: int) -> bool:
+        """SIGKILL a wedged worker process; True when the signal landed."""
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError, OSError):
+            return False
+        return True
+
+    def _relay_shutdown(self, running: Dict[Future, _PendingRun]) -> None:
+        """Forward the shutdown request to in-flight worker processes.
+
+        Workers whose pid is known (from their heartbeat) get a SIGTERM;
+        their sentinel then checkpoints and raises ``WorkerInterrupted``
+        at the next tick.  Workers without a heartbeat yet simply finish
+        their (short, pre-simulation) work and drain normally.
+        """
+        if self.heartbeat_interval is None or self.heartbeat_dir is None:
+            return
+        own = os.getpid()
+        for run in running.values():
+            beat = self._last_heartbeat(run)
+            pid = beat.get("pid") if beat else None
+            if isinstance(pid, int) and pid != own:
+                try:
+                    os.kill(pid, signal.SIGTERM)
+                except (ProcessLookupError, PermissionError, OSError):
+                    pass
+
     def _run_pool(
         self, misses: Sequence, outcomes: Dict[str, Outcome]
     ) -> None:
-        """Pooled execution with per-run deadlines and bounded retries.
+        """Pooled execution with per-run deadlines, supervision, retries.
 
         A hung run only costs its own slot: its future is abandoned at
         the deadline and the slot written off.  When every slot of the
@@ -785,6 +1297,19 @@ class SweepEngine:
         executor takes over the remaining work.  All executors are shut
         down without waiting at the end, so orphaned workers die on
         their own without stalling the sweep.
+
+        With ``heartbeat_interval`` set, workers additionally write
+        liveness heartbeats and a heartbeat-silent run is killed (by the
+        pid its own heartbeat recorded) and requeued as ``wedged`` long
+        before the full deadline.  Killing a pool process makes the
+        executor report ``BrokenProcessPool`` for innocent co-resident
+        futures; completions inside a short post-kill window are
+        requeued without burning their retry budget (``collateral``).
+
+        A graceful-shutdown request flips the loop into *drain* mode: no
+        new admissions, in-flight futures are given ``drain_timeout``
+        seconds to finish (results recorded) or bow out with
+        ``WorkerInterrupted`` (left unrecorded, hence resumed later).
         """
         max_workers = min(self.jobs, len(misses))
         executors: List[ProcessPoolExecutor] = []
@@ -794,6 +1319,28 @@ class SweepEngine:
         # its run periodically and run_spec() resumes from the newest
         # valid snapshot — which makes deadline hits worth retrying.
         resumable = checkpoint_dir_from_env() is not None
+
+        supervising = self.heartbeat_interval is not None
+        saved_env: Dict[str, Optional[str]] = {}
+        if supervising:
+            if self.heartbeat_dir is None:
+                self.heartbeat_dir = Path(
+                    tempfile.mkdtemp(prefix="repro-heartbeats-")
+                )
+            self.heartbeat_dir.mkdir(parents=True, exist_ok=True)
+            # Exported (not passed) so pool workers inherit them exactly
+            # like $REPRO_CHECKPOINT_DIR; restored in the finally block.
+            for name, value in (
+                (supervise.HEARTBEAT_DIR_ENV, str(self.heartbeat_dir)),
+                (supervise.HEARTBEAT_INTERVAL_ENV, str(self.heartbeat_interval)),
+            ):
+                saved_env[name] = os.environ.get(name)
+                os.environ[name] = value
+            stall_threshold = max(
+                self.heartbeat_interval * self.stall_grace,
+                supervise.WEDGE_GRACE_FLOOR,
+            )
+        kill_window_until = 0.0
 
         def fresh_executor() -> ProcessPoolExecutor:
             nonlocal lost_slots
@@ -808,6 +1355,9 @@ class SweepEngine:
 
         def submit(run: _PendingRun) -> None:
             nonlocal executor
+            if supervising:
+                self._clear_heartbeat(run)
+            run.submitted_wall = time.time()
             try:
                 future = executor.submit(self.worker, run.spec)
             except (BrokenExecutor, RuntimeError):
@@ -818,42 +1368,77 @@ class SweepEngine:
             )
             running[future] = run
 
+        def requeue(run: _PendingRun, now: float) -> None:
+            run.attempt += 1
+            self.retried += 1
+            run.not_before = now + (
+                self.retry_backoff * 2 ** (run.attempt - 1)
+            )
+            work.append(run)
+
+        draining = False
+        drain_deadline = 0.0
         try:
             while work or running:
-                if self._aborted():
-                    for future in running:
-                        future.cancel()
-                    self._record_aborted(
-                        [(r.key, r.spec) for r in list(running.values()) + list(work)],
-                        outcomes,
-                    )
-                    break
-                now = time.monotonic()
-                # Dispatch work whose backoff gate has passed, up to the
-                # live capacity of the current executor.
-                capacity = max(0, max_workers - lost_slots)
-                deferred: List[_PendingRun] = []
-                while work and len(running) < capacity:
-                    run = work.popleft()
-                    if run.not_before > now:
-                        deferred.append(run)
-                        continue
-                    submit(run)
-                work.extendleft(reversed(deferred))
-                if not running:
-                    if any(r.not_before > now for r in work):
-                        time.sleep(
-                            max(0.0, min(r.not_before for r in work) - now)
+                if self.graceful_shutdown and supervise.shutdown_requested():
+                    if not draining:
+                        draining = True
+                        drain_deadline = time.monotonic() + self.drain_timeout
+                        self._relay_shutdown(running)
+                    if not running or time.monotonic() >= drain_deadline:
+                        self.interrupted = True
+                        return
+                if not draining:
+                    if self._aborted():
+                        for future in running:
+                            future.cancel()
+                        self._record_aborted(
+                            [
+                                (r.key, r.spec)
+                                for r in list(running.values()) + list(work)
+                            ],
+                            outcomes,
                         )
-                        continue
-                    if work and capacity == 0:
-                        executor = fresh_executor()
-                        continue
-                    if not work:
                         break
-                    continue
+                    now = time.monotonic()
+                    # Dispatch work whose backoff gate has passed, up to
+                    # the live capacity of the current executor.
+                    capacity = max(0, max_workers - lost_slots)
+                    deferred: List[_PendingRun] = []
+                    while work and len(running) < capacity:
+                        run = work.popleft()
+                        if run.not_before > now:
+                            deferred.append(run)
+                            continue
+                        submit(run)
+                    work.extendleft(reversed(deferred))
+                    if not running:
+                        if any(r.not_before > now for r in work):
+                            # Capped so a shutdown request interrupts the
+                            # idle backoff wait promptly (PEP 475 makes a
+                            # plain sleep restart after the signal).
+                            time.sleep(
+                                min(
+                                    0.25,
+                                    max(
+                                        0.0,
+                                        min(r.not_before for r in work) - now,
+                                    ),
+                                )
+                            )
+                            continue
+                        if work and capacity == 0:
+                            executor = fresh_executor()
+                            continue
+                        if not work:
+                            break
+                        continue
                 # Wait for a completion, the earliest deadline, or the
-                # earliest retry gate — whichever comes first.
+                # earliest retry gate — whichever comes first.  With
+                # supervision or graceful shutdown active, the wait is
+                # additionally capped so wedge scans and shutdown
+                # requests are serviced promptly.
+                now = time.monotonic()
                 wait_bounds = [
                     run.deadline - now
                     for run in running.values()
@@ -862,6 +1447,8 @@ class SweepEngine:
                 wait_bounds.extend(
                     run.not_before - now for run in work if run.not_before > now
                 )
+                if supervising or self.graceful_shutdown or draining:
+                    wait_bounds.append(0.25)
                 pool_timeout = (
                     max(0.005, min(wait_bounds)) if wait_bounds else None
                 )
@@ -875,13 +1462,29 @@ class SweepEngine:
                     try:
                         stats = future.result()
                     except Exception as exc:  # noqa: BLE001 - fault isolation
-                        if is_transient_failure(exc) and run.attempt < self.retries:
-                            run.attempt += 1
-                            self.retried += 1
-                            run.not_before = now + (
-                                self.retry_backoff * 2 ** (run.attempt - 1)
-                            )
+                        if isinstance(exc, WorkerInterrupted) and draining:
+                            # The worker checkpointed and bowed out; the
+                            # run stays unrecorded (pending), so a resume
+                            # with the same manifest re-executes it.
+                            continue
+                        if (
+                            not draining
+                            and isinstance(exc, BrokenExecutor)
+                            and now < kill_window_until
+                            and run.collateral < 3
+                        ):
+                            # Collateral damage from a supervised kill of
+                            # a co-resident worker: requeue without
+                            # charging the run's own retry budget.
+                            run.collateral += 1
                             work.append(run)
+                            continue
+                        if (
+                            not draining
+                            and is_transient_failure(exc)
+                            and run.attempt < self.retries
+                        ):
+                            requeue(run, now)
                         else:
                             self._record_failure(
                                 run.key, run.spec, "exception", exc, outcomes,
@@ -891,6 +1494,51 @@ class SweepEngine:
                         self._record_success(
                             run.key, run.spec, SimulationResult(stats),
                             outcomes, attempts=run.attempt + 1,
+                        )
+                # Supervision: kill+requeue heartbeat-silent runs well
+                # before their full deadline.
+                if supervising and running:
+                    now_wall = time.time()
+                    for future, run in list(running.items()):
+                        beat = self._last_heartbeat(run)
+                        alive_at = (
+                            beat["wall"]
+                            if beat and isinstance(beat.get("wall"), (int, float))
+                            else run.submitted_wall
+                        )
+                        silence = now_wall - alive_at
+                        if silence <= stall_threshold:
+                            continue
+                        running.pop(future)
+                        if future.cancel():
+                            # Still queued (a slot died after submit): not
+                            # a wedge — resubmit without charging retries.
+                            work.append(run)
+                            continue
+                        self.wedged += 1
+                        pid = beat.get("pid") if beat else None
+                        if isinstance(pid, int) and self._kill_worker(pid):
+                            # The pool will report BrokenProcessPool for
+                            # co-resident futures; open the forgiveness
+                            # window and let a fresh executor take over.
+                            kill_window_until = time.monotonic() + 5.0
+                        else:
+                            # No pid to kill: abandon the worker and
+                            # write its slot off.
+                            lost_slots += 1
+                        self._clear_heartbeat(run)
+                        if not draining and run.attempt < self.retries:
+                            requeue(run, time.monotonic())
+                            continue
+                        self._record_failure(
+                            run.key, run.spec, "wedged", None, outcomes,
+                            message=(
+                                f"no heartbeat for {silence:.1f}s (stall "
+                                f"threshold {stall_threshold:.1f}s); worker "
+                                "killed and run "
+                                + ("abandoned" if draining else "requeued")
+                            ),
+                            attempts=run.attempt + 1,
                         )
                 # Enforce per-run deadlines: only the overdue run fails.
                 overdue = [
@@ -904,19 +1552,14 @@ class SweepEngine:
                         # Already executing in a worker we cannot reclaim:
                         # write the slot off.
                         lost_slots += 1
-                    if resumable and run.attempt < self.retries:
+                    if not draining and resumable and run.attempt < self.retries:
                         # With auto-checkpointing on, the abandoned worker
                         # has been leaving snapshots behind; a fresh
                         # attempt resumes from the newest one instead of
                         # restarting at cycle 0, so each retry makes
                         # forward progress even against a too-tight
                         # deadline.
-                        run.attempt += 1
-                        self.retried += 1
-                        run.not_before = now + (
-                            self.retry_backoff * 2 ** (run.attempt - 1)
-                        )
-                        work.append(run)
+                        requeue(run, now)
                         continue
                     self._record_failure(
                         run.key, run.spec, "timeout", None, outcomes,
@@ -926,7 +1569,11 @@ class SweepEngine:
                         ),
                         attempts=run.attempt + 1,
                     )
-                if lost_slots >= max_workers and (work or running):
+                if (
+                    not draining
+                    and lost_slots >= max_workers
+                    and (work or running)
+                ):
                     # Every slot is hung: move still-queued futures back to
                     # the work list and start over on a fresh pool.
                     for future, run in list(running.items()):
@@ -936,6 +1583,11 @@ class SweepEngine:
                     if not running:
                         executor = fresh_executor()
         finally:
+            for name, value in saved_env.items():
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
             for ex in executors:
                 # Never block on hung workers; orphaned runs finish (or
                 # die) on their own without affecting us.

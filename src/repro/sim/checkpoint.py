@@ -52,9 +52,11 @@ Typical use (what :mod:`repro.harness.runner` does)::
 from __future__ import annotations
 
 import dataclasses
+import errno
 import hashlib
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
@@ -331,6 +333,33 @@ def restore_simulator(
     return sim
 
 
+def free_bytes(path: Union[str, Path]) -> Optional[int]:
+    """Free bytes on the filesystem holding ``path``, or None if unknown.
+
+    Uses ``os.statvfs`` (POSIX); returns None on platforms without it or
+    when the path cannot be statted — callers treat "unknown" as "enough"
+    so a missing probe never disables a sink.
+    """
+    try:
+        stat = os.statvfs(path)
+    except (AttributeError, OSError):
+        return None
+    return stat.f_bavail * stat.f_frsize
+
+
+def has_free_space(path: Union[str, Path], floor: int) -> bool:
+    """True when the filesystem holding ``path`` has >= ``floor`` bytes free."""
+    free = free_bytes(path)
+    return free is None or free >= floor
+
+
+#: Minimum free bytes required before an auto-checkpoint write is
+#: attempted.  A full-machine snapshot of the largest sweep cells is well
+#: under 4 MB of JSON; preflighting avoids shredding the last few blocks
+#: of a full disk with doomed temp files every interval.
+CHECKPOINT_FREE_SPACE_FLOOR = 4 << 20
+
+
 def attach_checkpointing(
     sim: "object", path: Union[str, Path], interval: int, fingerprint: str = ""
 ) -> None:
@@ -339,13 +368,42 @@ def attach_checkpointing(
     The run loop then calls :func:`write_checkpoint` at the first loop
     iteration at or past each interval boundary.  ``interval <= 0``
     disables checkpointing.
+
+    Each snapshot is preflighted against
+    :data:`CHECKPOINT_FREE_SPACE_FLOOR`; a failed preflight or a write
+    that raises ``OSError`` (disk full, quota, permissions) emits one
+    ``RuntimeWarning`` and disables further auto-snapshots for this run
+    instead of crashing it — crash *recoverability* degrades, the
+    simulation itself survives.
     """
     if interval <= 0:
         sim.checkpoint_interval = 0
         sim.checkpoint_write = None
         return
     destination = Path(path)
+    state = {"disabled": False}
+
+    def _auto_snapshot(snapshot_sim: "object") -> None:
+        """Guarded snapshot: preflight space, warn once, then go quiet."""
+        if state["disabled"]:
+            return
+        try:
+            parent = destination.parent if destination.parent != Path("") else Path(".")
+            parent.mkdir(parents=True, exist_ok=True)
+            if not has_free_space(parent, CHECKPOINT_FREE_SPACE_FLOOR):
+                raise OSError(
+                    errno.ENOSPC,
+                    f"free space below {CHECKPOINT_FREE_SPACE_FLOOR} byte floor",
+                )
+            write_checkpoint(destination, snapshot_sim, fingerprint=fingerprint)
+        except OSError as exc:
+            state["disabled"] = True
+            warnings.warn(
+                f"auto-checkpointing to {destination} disabled ({exc}); "
+                "the run continues without crash recovery",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
     sim.checkpoint_interval = interval
-    sim.checkpoint_write = lambda s: write_checkpoint(
-        destination, s, fingerprint=fingerprint
-    )
+    sim.checkpoint_write = _auto_snapshot

@@ -17,6 +17,13 @@ Every abnormal simulation outcome is a subclass of
 * :class:`CheckpointError` — a simulator snapshot failed validation on
   load (see :mod:`repro.sim.checkpoint`); the run falls back to a cold
   start and the error is recorded so the bad snapshot leaves a trace.
+* :class:`MemoryBudgetExceeded` — the worker's self-monitor (see
+  :mod:`repro.harness.supervise`) observed peak RSS above the per-run
+  ``--memory-budget``; a checkpoint is flushed first, so the run can be
+  resumed on a roomier host.
+* :class:`WorkerInterrupted` — a graceful-shutdown request reached the
+  worker mid-run; the run checkpointed and bowed out, and a follow-up
+  sweep with the same manifest re-executes (or resumes) it.
 
 Each exception carries a *diagnostic snapshot*: a plain-JSON dict of the
 machine state at failure time (cycle, per-core warp states, queue
@@ -101,6 +108,40 @@ class CheckpointError(SimulationError):
     """
 
     kind = "checkpoint"
+
+
+class MemoryBudgetExceeded(SimulationError):
+    """A run's peak RSS crossed its ``--memory-budget``.
+
+    Raised by the worker-side :class:`repro.harness.supervise.RunSentinel`
+    *after* flushing a checkpoint (when one is armed), so the partial
+    work survives the structured exit.  Deliberately not a transient
+    failure: re-running the same spec in the same pool would balloon the
+    same way, so the sweep records it instead of burning retries.
+
+    Args:
+        message: Human-readable description with observed/budgeted RSS.
+        snapshot: ``{cycle, peak_rss_kb, budget_kb, pid}`` at the check.
+    """
+
+    kind = "memory-budget"
+
+
+class WorkerInterrupted(SimulationError):
+    """A graceful-shutdown request interrupted this run mid-flight.
+
+    Raised by the worker-side run sentinel once the process-wide
+    shutdown flag (first SIGTERM/SIGINT) is observed, after flushing a
+    checkpoint when one is armed.  The sweep engine drops the run
+    unrecorded — it is *pending*, not failed — so resuming with the same
+    manifest re-executes it.
+
+    Args:
+        message: Human-readable description with the interrupted cycle.
+        snapshot: ``{cycle, pid}`` at the interruption point.
+    """
+
+    kind = "interrupted"
 
 
 class InvariantViolation(SimulationError):

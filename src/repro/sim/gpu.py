@@ -127,6 +127,18 @@ class GpuSimulator:
         #: replays the remaining iterations identically.
         self.checkpoint_interval = 0
         self.checkpoint_write: Optional[Callable[["GpuSimulator"], object]] = None
+        #: Supervision hook: when ``supervision_hook`` is set and
+        #: ``supervision_interval`` > 0, the main loop calls
+        #: ``supervision_hook(self)`` at the same safe loop-top point as
+        #: the checkpoint hook, on a (much finer) cycle cadence.  The
+        #: worker sentinel (:mod:`repro.harness.supervise`) uses it to
+        #: emit liveness heartbeats and enforce memory budgets and
+        #: shutdown requests; the hook may raise a structured
+        #: :class:`~repro.sim.errors.SimulationError` to end the run.
+        #: Like the checkpoint hook, it is runtime plumbing and is never
+        #: serialized into snapshots.
+        self.supervision_interval = 0
+        self.supervision_hook: Optional[Callable[["GpuSimulator"], object]] = None
 
     # ------------------------------------------------------------------
     # Workload setup
@@ -228,11 +240,25 @@ class GpuSimulator:
             ckpt_write = None
             next_checkpoint = 0
 
+        sup_hook = self.supervision_hook
+        sup_interval = self.supervision_interval
+        if sup_hook is not None and sup_interval > 0:
+            next_supervision = (cycle // sup_interval + 1) * sup_interval
+        else:
+            sup_hook = None
+            next_supervision = 0
+
         while cycle < max_cycles:
             if ckpt_write is not None and cycle >= next_checkpoint:
                 self.cycle = cycle
                 ckpt_write(self)
                 next_checkpoint = (cycle // ckpt_interval + 1) * ckpt_interval
+            if sup_hook is not None and cycle >= next_supervision:
+                # self.cycle is synced first so a checkpoint flushed from
+                # inside the hook snapshots the loop-top state exactly.
+                self.cycle = cycle
+                sup_hook(self)
+                next_supervision = (cycle // sup_interval + 1) * sup_interval
             if prof is not None:
                 prof.loop_iterations += 1
                 t_phase = timer()

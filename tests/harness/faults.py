@@ -34,6 +34,16 @@ leaves on disk), and later attempts run the real
 :func:`sigkill_after_snapshot` is the hardest variant — it SIGKILLs its
 own process right after the snapshot lands, so it must only ever run in
 a dedicated subprocess.
+
+The supervised-runtime additions cover the four mechanisms of
+``repro.harness.supervise``: :func:`wedge_worker` and
+:func:`selectively_wedged_worker` go heartbeat-silent (busy-wedge) so
+the supervisor must kill and requeue them; :func:`rss_balloon_worker`
+allocates a large ballast so a ``--memory-budget`` run trips the
+sentinel; :func:`raise_enospc` is a monkeypatch shim standing in for a
+full disk; :func:`selectively_crashing_worker` is the poison spec the
+quarantine registry must catch; and :func:`supervised_sweep_main` is a
+subprocess driver for the SIGTERM-mid-sweep acceptance test.
 """
 
 from __future__ import annotations
@@ -376,3 +386,191 @@ def checkpointing_crash_worker(spec) -> SimStats:
             f"injected crash right after the cycle-{cycle} snapshot"
         )
     return run_spec(spec).stats
+
+
+# ----------------------------------------------------------------------
+# Supervised-runtime faults: wedges, memory pressure, disk pressure,
+# poison specs, and a SIGTERM-able subprocess sweep driver
+# ----------------------------------------------------------------------
+
+#: How long a wedged worker stays silent.  Far past any sane stall
+#: threshold, but bounded so an orphan that escaped SIGKILL eventually
+#: exits on its own instead of outliving the test session.
+WEDGE_SECONDS = 45.0
+
+#: Per-run pacing for :func:`paced_worker` — slow enough that the parent
+#: test can observe a sweep mid-flight and SIGTERM it, fast enough that
+#: draining two in-flight runs stays well inside the drain timeout.
+PACE_SECONDS = 0.35
+
+
+def _write_one_heartbeat(spec) -> None:
+    """Emit a single genuine heartbeat for ``spec`` (records our pid).
+
+    Wedge workers call this before going silent so the supervisor can
+    (a) see the run was alive once and (b) find a pid to SIGKILL —
+    exactly the trace a real worker leaves before an infinite loop.
+    """
+    from repro.harness import supervise
+
+    directory = supervise.heartbeat_dir_from_env()
+    if directory is None:
+        return
+    writer = supervise.HeartbeatWriter(
+        supervise.heartbeat_path_for(spec.benchmark, fingerprint(spec),
+                                     directory),
+        interval=0.0,
+    )
+    writer.beat(0, force=True)
+
+
+def wedge_worker(spec) -> SimStats:
+    """Heartbeat once, then go silent in a sleep-loop — a wedged run.
+
+    Never returns within any test deadline; the supervisor must notice
+    the heartbeat silence, SIGKILL the worker, and requeue the run.
+    """
+    record_attempt(spec)
+    return _wedge_silently(spec)
+
+
+def selectively_wedged_worker(spec) -> SimStats:
+    """Wedge (heartbeat-silent) for benchmark ``monte`` on the first
+    attempt only; succeed instantly for everything else and on retries.
+    Proves the supervisor condemns exactly the wedged run, strictly
+    before the per-run ``timeout``, and that the requeue succeeds."""
+    attempt = record_attempt(spec)
+    if spec.benchmark == "monte" and attempt == 1:
+        return _wedge_silently(spec)
+    return _stats_for(spec)
+
+
+def _wedge_silently(spec) -> SimStats:
+    """Go heartbeat-silent without recording another attempt marker."""
+    _write_one_heartbeat(spec)
+    deadline = time.monotonic() + WEDGE_SECONDS
+    while time.monotonic() < deadline:  # pragma: no cover - killed early
+        time.sleep(0.05)
+    return _stats_for(spec)
+
+
+def selectively_crashing_worker(spec) -> SimStats:
+    """Crash every attempt for benchmark ``monte`` (a poison spec),
+    succeed for everything else.
+
+    The crash is an errno-less ``OSError`` — transient by the engine's
+    classifier — so the spec burns its whole retry budget and must then
+    be quarantined without aborting the healthy cells.
+    """
+    attempt = record_attempt(spec)
+    if spec.benchmark == "monte":
+        raise OSError(f"injected poison-spec fault (attempt {attempt})")
+    return _stats_for(spec)
+
+
+#: Ballast size for :func:`rss_balloon_worker` — big enough to clear any
+#: realistic parent-peak-plus-margin budget, small enough for CI.
+BALLOON_BYTES = 256 << 20
+
+_BALLAST = None  # keeps the balloon alive until the sentinel fires
+
+
+def rss_balloon_worker(spec) -> SimStats:
+    """Balloon the worker's RSS past any sane budget, then run for real.
+
+    The allocation happens *before* the simulation starts, so the run's
+    first supervision tick observes the inflated peak RSS and the
+    sentinel raises :class:`~repro.sim.errors.MemoryBudgetExceeded`
+    (after flushing a checkpoint, when checkpointing is attached).
+    """
+    from repro.harness.runner import run_spec
+
+    global _BALLAST
+    record_attempt(spec)
+    _BALLAST = bytearray(b"\xa5" * BALLOON_BYTES)
+    return run_spec(spec).stats
+
+
+def raise_enospc(*args, **kwargs):
+    """Monkeypatch shim: fail like a full filesystem (``ENOSPC``).
+
+    Swap it in for ``os.replace`` / ``atomic_write_json`` / the
+    free-space probe's consumers to simulate disk exhaustion at any
+    write site without actually filling a disk.
+    """
+    import errno as _errno
+
+    raise OSError(_errno.ENOSPC, "No space left on device (injected)")
+
+
+def paced_worker(spec) -> SimStats:
+    """Run the real simulation, preceded by a short pace-keeping sleep.
+
+    Used by :func:`supervised_sweep_main`: the sleep keeps the sweep
+    in flight long enough for the parent test to SIGTERM it mid-run,
+    and re-installing the worker signal handlers mirrors what
+    ``_sweep_worker`` does so a drain SIGTERM is converted into the
+    cooperative shutdown flag instead of killing the worker outright.
+    """
+    from repro.harness import supervise
+    from repro.harness.runner import run_spec
+
+    supervise.install_worker_signal_handlers()
+    time.sleep(PACE_SECONDS)
+    return run_spec(spec).stats
+
+
+def supervised_sweep_main(argv=None) -> None:
+    """Subprocess entry point for the SIGTERM-mid-sweep acceptance test.
+
+    Runs a small but real 8-cell sweep (two benchmarks, four hardware
+    schemes, tiny scale) through a supervised, journaled
+    :class:`~repro.harness.sweep.SweepEngine` with graceful shutdown
+    enabled.  Prints exactly one marker line so the parent can tell the
+    two legitimate endings apart:
+
+    * ``INTERRUPTED done=<n> pending=<m>`` + exit 130 — a shutdown
+      signal drained the sweep; the manifest is finalized and resumable.
+    * ``COMPLETE <json>`` + exit 0 — the sweep finished; the JSON maps
+      each spec fingerprint to its stats dict (sorted keys, so two
+      COMPLETE lines from independent processes are comparable
+      byte-for-byte).
+
+    ``argv[0]`` must be the manifest path; the parent reuses it across
+    the interrupted run and the resume run.
+    """
+    import sys
+
+    from repro.harness.runner import make_spec
+    from repro.harness.sweep import SweepEngine, SweepInterrupted
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        raise SystemExit("usage: supervised_sweep_main <manifest-path>")
+    manifest = args[0]
+    specs = [
+        make_spec(benchmark=bench, hardware=hw, scale=0.05)
+        for bench in ("monte", "cell")
+        for hw in ("none", "stride_pc", "stride_pc_wid", "stream")
+    ]
+    engine = SweepEngine(
+        jobs=2,
+        manifest=manifest,
+        worker=paced_worker,
+        heartbeat_interval=0.2,
+        retries=1,
+        retry_backoff=0.1,
+        graceful_shutdown=True,
+    )
+    try:
+        outcomes = engine.run(specs)
+    except SweepInterrupted as exc:
+        print(f"INTERRUPTED done={exc.done} pending={exc.pending}",
+              flush=True)
+        raise SystemExit(130)
+    table = {
+        fingerprint(spec): outcome.stats.to_dict()
+        for spec, outcome in zip(specs, outcomes)
+    }
+    print("COMPLETE " + json.dumps(table, sort_keys=True), flush=True)
+    raise SystemExit(0)

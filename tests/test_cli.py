@@ -114,7 +114,11 @@ def test_integrity_flags(tmp_path, monkeypatch, capsys):
     assert os.environ.get("REPRO_INVARIANTS") == "1"
     assert "speedup" in capsys.readouterr().out
     lines = [json.loads(l) for l in manifest.read_text().splitlines()]
-    assert lines and all(r["status"] == "done" for r in lines)
+    runs = [r for r in lines if r["key"] != "__sweep__"]
+    assert runs and all(r["status"] == "done" for r in runs)
+    # The sweep-final record marks the manifest as deliberately ended.
+    finals = [r for r in lines if r["key"] == "__sweep__"]
+    assert finals and finals[-1]["interrupted"] is False
 
 
 def test_fail_fast_flag_parses(capsys):
