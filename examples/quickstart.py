@@ -1,9 +1,15 @@
 """Quickstart: simulate one benchmark with and without MT-prefetching.
 
 Runs the MonteCarlo benchmark (the paper's standout stride-prefetching
-winner) on the Table II baseline GPU three ways — no prefetching, the
+winner) on the Table II baseline GPU several ways — no prefetching, the
 many-thread aware hardware prefetcher (MT-HWP), and many-thread aware
 software prefetching (MT-SWP) — and prints the headline statistics.
+It finishes by re-running the best scheme with a windowed-metrics
+recorder attached and writing ``quickstart.metrics.json``, the
+time-series view of the same run (see OBSERVABILITY.md); render it
+with::
+
+    python -m repro report quickstart.metrics.json
 
 Usage::
 
@@ -13,9 +19,11 @@ Usage::
 import sys
 
 from repro import run_benchmark
+from repro.harness.runner import make_spec, run_spec
 
 
 def describe(label, result, baseline=None):
+    """Print one run's headline numbers (and speedup over ``baseline``)."""
     stats = result.stats
     speedup = f"  speedup {result.speedup_over(baseline):.2f}x" if baseline else ""
     print(f"{label:<22} cycles {result.cycles:>8}  CPI {result.cpi:6.2f}{speedup}")
@@ -28,7 +36,26 @@ def describe(label, result, baseline=None):
         )
 
 
+def record_metrics(name: str) -> None:
+    """Re-run the throttled MT-HWP scheme with telemetry attached.
+
+    ``run_spec(..., metrics_path=...)`` attaches a
+    :class:`repro.sim.telemetry.MetricsRecorder` to the simulation and
+    writes the windowed time-series document after the run — the same
+    artifact ``--metrics-dir`` produces from the CLI.  Telemetry is a
+    pure observer: this run's statistics are bit-identical to the
+    ``describe``'d one above.
+    """
+    spec = make_spec(name, hardware="mt-hwp", throttle=True)
+    run_spec(spec, metrics_path="quickstart.metrics.json")
+    print(
+        "\nwindowed metrics written to quickstart.metrics.json — render "
+        "with:\n  python -m repro report quickstart.metrics.json"
+    )
+
+
 def main() -> None:
+    """Run the scheme line-up for one benchmark and print the comparison."""
     name = sys.argv[1] if len(sys.argv) > 1 else "monte"
     print(f"benchmark: {name} (Table II baseline GPU, 14 cores)\n")
 
@@ -49,6 +76,8 @@ def main() -> None:
 
     swp_t = run_benchmark(name, software="mt-swp", throttle=True)
     describe("MT-SWP + throttling", swp_t, baseline)
+
+    record_metrics(name)
 
 
 if __name__ == "__main__":

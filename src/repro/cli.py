@@ -13,6 +13,9 @@ Commands:
   fuzz kernels/configs cross-checked through the equivalence-oracle
   registry (see :mod:`repro.harness.diffcheck`); exits nonzero on any
   mismatch and writes minimal-repro reports with ``--report-dir``.
+* ``report`` — render a windowed-metrics document (written by
+  ``--metrics-dir``) as a markdown run report, raw JSON, or a Chrome
+  trace-event file loadable in ``chrome://tracing``/Perfetto.
 
 The simulating commands (``run``, ``compare``, ``figure``) share the
 sweep flags:
@@ -45,6 +48,13 @@ sweep flags:
   (wall-clock phase timers + per-component activity) into DIR for every
   run actually executed, in this process and all sweep workers
   (equivalent to ``REPRO_PROFILE_DIR=DIR``).
+* ``--metrics-dir DIR`` — write a per-run windowed-metrics JSON
+  time-series (IPC, MRQ/DRAM/interconnect occupancy and traffic, the
+  prefetch ledger, throttle state) into DIR for every run actually
+  executed, in this process and all sweep workers (equivalent to
+  ``REPRO_METRICS_DIR=DIR``); render with ``python -m repro report``.
+* ``--metrics-interval N`` — nominal simulated cycles per metrics
+  window (equivalent to ``REPRO_METRICS_INTERVAL=N``; default 1000).
 * ``--heartbeat-interval S`` — worker liveness heartbeats every S
   seconds; pooled sweeps kill and requeue a heartbeat-silent (wedged)
   run well before its full ``--timeout`` deadline.
@@ -74,7 +84,12 @@ import sys
 from typing import List, Optional
 
 from repro.harness import experiments, perf
-from repro.harness.report import format_speedup_figure, format_sweep, format_table
+from repro.harness.report import (
+    format_metrics_report,
+    format_speedup_figure,
+    format_sweep,
+    format_table,
+)
 from repro.harness.runner import (
     HARDWARE_SCHEMES,
     ExperimentRunner,
@@ -85,6 +100,12 @@ from repro.harness.sweep import SweepInterrupted
 from repro.sim.checkpoint import CHECKPOINT_DIR_ENV, CHECKPOINT_INTERVAL_ENV
 from repro.sim.invariants import INVARIANTS_ENV
 from repro.sim.profiling import PROFILE_DIR_ENV
+from repro.sim.telemetry import (
+    METRICS_DIR_ENV,
+    METRICS_INTERVAL_ENV,
+    to_chrome_trace,
+    validate_metrics_document,
+)
 from repro.trace.benchmarks import COMPUTE_BENCHMARKS, MEMORY_BENCHMARKS
 from repro.trace.swp import SCHEMES as SOFTWARE_SCHEMES
 
@@ -146,6 +167,17 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
              "(REPRO_PROFILE_DIR=DIR) in this process and all sweep workers",
     )
     parser.add_argument(
+        "--metrics-dir", default=None, metavar="DIR",
+        help="write a per-run windowed-metrics JSON time-series into DIR "
+             "(REPRO_METRICS_DIR=DIR) in this process and all sweep "
+             "workers; render with 'python -m repro report'",
+    )
+    parser.add_argument(
+        "--metrics-interval", type=int, default=None, metavar="N",
+        help="nominal simulated cycles per metrics window "
+             "(REPRO_METRICS_INTERVAL=N; default: 1000)",
+    )
+    parser.add_argument(
         "--heartbeat-interval", type=float, default=None, metavar="S",
         help="worker liveness heartbeats every S seconds; pooled sweeps "
              "kill+requeue a heartbeat-silent (wedged) run well before "
@@ -172,6 +204,10 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         os.environ[INVARIANTS_ENV] = "1"
     if args.profile:
         os.environ[PROFILE_DIR_ENV] = args.profile
+    if args.metrics_dir:
+        os.environ[METRICS_DIR_ENV] = args.metrics_dir
+    if args.metrics_interval is not None:
+        os.environ[METRICS_INTERVAL_ENV] = str(args.metrics_interval)
     if args.checkpoint_dir:
         os.environ[CHECKPOINT_DIR_ENV] = args.checkpoint_dir
     if args.checkpoint_interval is not None:
@@ -308,6 +344,25 @@ def _build_parser() -> argparse.ArgumentParser:
     diff_p.add_argument(
         "--no-shrink", action="store_true",
         help="skip shrinking failing kernels to minimal repros",
+    )
+
+    rep_p = sub.add_parser(
+        "report",
+        help="render a windowed-metrics document (from --metrics-dir)",
+    )
+    rep_p.add_argument(
+        "metrics_file",
+        help="a <benchmark>-<fingerprint>.metrics.json document",
+    )
+    rep_p.add_argument(
+        "--format", choices=["md", "json", "chrome"], default="md",
+        help="md: markdown run report (default); json: validated raw "
+             "document; chrome: trace-event file for "
+             "chrome://tracing / Perfetto",
+    )
+    rep_p.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the rendering to FILE instead of stdout",
     )
     return parser
 
@@ -522,6 +577,41 @@ def _cmd_diffcheck(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """``report``: render a metrics document as markdown/JSON/Chrome trace."""
+    try:
+        with open(args.metrics_file) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"repro report: cannot read {args.metrics_file}: {exc}",
+              file=sys.stderr)
+        return 1
+    try:
+        validate_metrics_document(doc)
+    except ValueError as exc:
+        print(f"repro report: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "md":
+        rendering = format_metrics_report(doc)
+    elif args.format == "json":
+        rendering = json.dumps(doc, indent=2, sort_keys=True)
+    else:
+        rendering = json.dumps(to_chrome_trace(doc), indent=2)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(rendering + "\n")
+        print(f"wrote {args.output}")
+    else:
+        try:
+            print(rendering)
+        except BrokenPipeError:
+            # Reports are long and piping into `head`/a pager is the
+            # normal way to read one; a closed pipe is not an error.
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            os.dup2(devnull, sys.stdout.fileno())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code.
 
@@ -537,6 +627,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _cmd_figure,
         "perf": _cmd_perf,
         "diffcheck": _cmd_diffcheck,
+        "report": _cmd_report,
     }[args.command]
     try:
         return handler(args)

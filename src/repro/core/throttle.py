@@ -143,6 +143,23 @@ class ThrottleEngine:
     def enabled(self) -> bool:
         return self.config.enabled
 
+    @property
+    def keep_fraction(self) -> float:
+        """Fraction of prefetch requests the current degree admits.
+
+        1.0 with throttling disabled or degree 0; 0.0 at
+        ``max_degree`` ("No Prefetch"); ``1 - degree/max_degree``
+        between (degree 2 of 5 keeps 3/5 of prefetch requests — see
+        :meth:`allow_prefetch`).  Telemetry records the per-window
+        minimum across cores as the closest analogue of an
+        "active-warp limit" for a prefetch-gating throttle.
+        """
+        if not self.config.enabled or self.degree <= 0:
+            return 1.0
+        if self.degree >= self.config.max_degree:
+            return 0.0
+        return 1.0 - self.degree / self.config.max_degree
+
     def allow_prefetch(self) -> bool:
         """Gate one prefetch request; drops ``degree``/``max_degree`` of them.
 

@@ -32,6 +32,13 @@ The absolute timestamp and machine description are *passed in* by the
 harness entry points (CLI / pytest); nothing on the simulation path
 reads the clock or the host configuration, keeping simulated results
 bit-reproducible.
+
+This harness answers "how fast is the simulator"; for "what did the
+simulated machine do over time" attach the windowed-metrics recorder
+(``--metrics-dir`` / :mod:`repro.sim.telemetry`) instead — the CI
+perf-smoke job does both, running this subset as the throughput gate and
+a quick metrics-enabled sweep to schema-validate the emitted documents.
+OBSERVABILITY.md maps out all three observer layers.
 """
 
 from __future__ import annotations

@@ -1,8 +1,12 @@
-"""Plain-text rendering of experiment results.
+"""Plain-text and markdown rendering of experiment results.
 
 The benchmark harness prints each reproduced table/figure as an aligned
 text table — the same rows/series the paper reports — so `pytest
 benchmarks/` output can be compared against the paper side by side.
+The module also renders markdown (:func:`format_markdown_table`) and the
+per-run metrics report behind ``python -m repro report``
+(:func:`format_metrics_report`); see :mod:`repro.sim.telemetry` for the
+document the report reads.
 """
 
 from __future__ import annotations
@@ -85,6 +89,130 @@ def summarize_headline(
         "mt_hwp_t_over_stride_pc_t": hwp["mt-hwp+T"] / hwp["stride_pc_throttle"],
         "mt_hwp_t_over_baseline": hwp["mt-hwp+T"],
     }
+
+
+def format_markdown_table(
+    rows: Sequence[Mapping],
+    columns: Sequence[str],
+    headers: Optional[Sequence[str]] = None,
+    floatfmt: str = "{:.2f}",
+) -> str:
+    """Render a list of dict rows as a GitHub-flavoured markdown table."""
+    headers = list(headers) if headers else list(columns)
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join(" --- " for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(cell(row.get(col, "")) for col in columns) + " |"
+        )
+    return "\n".join(lines)
+
+
+def _downsample(windows: Sequence[Mapping], max_rows: int) -> List[Mapping]:
+    """Pick an evenly-strided subset of windows, always keeping the last."""
+    if len(windows) <= max_rows:
+        return list(windows)
+    stride = -(-len(windows) // max_rows)  # ceil division
+    picked = list(windows[::stride])
+    if picked[-1] is not windows[-1]:
+        picked.append(windows[-1])
+    return picked
+
+
+def format_metrics_report(doc: Mapping, max_rows: int = 48) -> str:
+    """Render a telemetry metrics document as a markdown run report.
+
+    Three sections: a header identifying the run (benchmark,
+    fingerprint, cycle count, window cadence), a totals table with the
+    derived run-level rates (IPC, DRAM row-hit rate, merge ratio,
+    prefetch usefulness), and the window timeline — downsampled to at
+    most ``max_rows`` evenly-strided rows, with a note naming the
+    stride — followed by an ASCII DRAM-bandwidth timeline, the native
+    way to read Fig. 12's early-bandwidth behaviour.
+    """
+    windows: List[Mapping] = list(doc["windows"])
+    totals: Mapping = doc["totals"]
+    cycles = doc["cycles"]
+    num_cores = doc["num_cores"]
+    lines = [f"# Run metrics: {doc['benchmark'] or '(unnamed run)'}", ""]
+    fingerprint = str(doc.get("fingerprint") or "")
+    if fingerprint:
+        lines.append(f"- fingerprint: `{fingerprint[:12]}`")
+    lines.append(f"- cycles: {cycles} ({num_cores} cores)")
+    dropped = doc["windows_dropped"]
+    lines.append(
+        f"- windows: {len(windows)} retained of {doc['windows_emitted']} "
+        f"emitted ({dropped} dropped), nominal interval {doc['interval']} cycles"
+    )
+    lines += ["", "## Totals", ""]
+    total_rows = [
+        {"metric": name, "value": totals[name]}
+        for name in sorted(totals)
+    ]
+    instructions = totals.get("instructions", 0)
+    hits, misses = totals.get("dram_row_hits", 0), totals.get("dram_row_misses", 0)
+    merges, requests = totals.get("intra_core_merges", 0), totals.get("mrq_requests", 0)
+    issued, useful = totals.get("prefetches_issued", 0), totals.get("prefetches_useful", 0)
+    derived = [
+        ("ipc (per core)", instructions / (cycles * num_cores) if cycles and num_cores else 0.0),
+        ("dram row-hit rate", hits / (hits + misses) if hits + misses else 0.0),
+        ("merge ratio (Eq. 6)", merges / requests if requests else 0.0),
+        ("prefetch usefulness", useful / issued if issued else 0.0),
+    ]
+    total_rows += [{"metric": name, "value": value} for name, value in derived]
+    lines.append(format_markdown_table(total_rows, ["metric", "value"], floatfmt="{:.4f}"))
+    lines += ["", "## Timeline", ""]
+    picked = _downsample(windows, max_rows)
+    if len(picked) != len(windows):
+        lines += [
+            f"_{len(picked)} of {len(windows)} windows shown "
+            f"(every {-(-len(windows) // max_rows)}th); the JSON document "
+            "retains all of them._",
+            "",
+        ]
+    timeline_columns = [
+        "window", "cycles", "ipc", "instructions", "stall_cycles",
+        "mrq_occupancy", "dram_lines", "row_hit_rate", "prefetches_issued",
+        "prefetches_useful", "warps_blocked_on_memory", "throttle_degree_max",
+    ]
+    timeline_rows = []
+    for window in picked:
+        row_hits = window["dram_row_hits"]
+        row_total = row_hits + window["dram_row_misses"]
+        timeline_rows.append({
+            "window": f"[{window['start']}, {window['end']})",
+            "cycles": window["cycles"],
+            "ipc": window["ipc"],
+            "instructions": window["instructions"],
+            "stall_cycles": window["stall_cycles"],
+            "mrq_occupancy": window["mrq_occupancy"],
+            "dram_lines": window["dram_lines"],
+            "row_hit_rate": row_hits / row_total if row_total else 0.0,
+            "prefetches_issued": window["prefetches_issued"],
+            "prefetches_useful": window["prefetches_useful"],
+            "warps_blocked_on_memory": window["warps_blocked_on_memory"],
+            "throttle_degree_max": window["throttle_degree_max"],
+        })
+    lines.append(format_markdown_table(timeline_rows, timeline_columns))
+    lines += ["", "## DRAM bandwidth timeline", ""]
+    bandwidth = {
+        f"[{w['start']}, {w['end']})": float(w["dram_lines"]) for w in picked
+    }
+    lines += [
+        "```",
+        format_bar_chart(bandwidth, "lines transferred per window", reference=0.0),
+        "```",
+        "",
+    ]
+    return "\n".join(lines)
 
 
 def format_bar_chart(

@@ -53,6 +53,11 @@ from repro.sim.config import GpuConfig, ThrottleConfig, baseline_config
 from repro.sim.errors import CheckpointError, write_failure_report
 from repro.sim.gpu import GpuSimulator, SimulationResult
 from repro.sim.profiling import SimProfiler, profile_dir_from_env
+from repro.sim.telemetry import (
+    MetricsRecorder,
+    metrics_dir_from_env,
+    metrics_interval_from_env,
+)
 from repro.trace.benchmarks import get_benchmark
 from repro.trace.kernels import KernelSpec
 from repro.trace.swp import SCHEMES, SoftwarePrefetchConfig
@@ -184,6 +189,7 @@ def _simulate(
     perfect_memory: bool,
     strict: bool = False,
     profiler: Optional[SimProfiler] = None,
+    metrics: Optional[MetricsRecorder] = None,
     checkpoint_path: Union[str, Path, None] = None,
     checkpoint_interval: int = 0,
     checkpoint_tag: str = "",
@@ -227,7 +233,7 @@ def _simulate(
                 sim = restore_simulator(
                     envelope, cfg, factory,
                     workload.blocks, workload.max_blocks_per_core,
-                    profiler=profiler,
+                    profiler=profiler, metrics=metrics,
                 )
             except CheckpointError as exc:
                 # Recoverable: leave a structured trace of the rejected
@@ -247,7 +253,10 @@ def _simulate(
                 )
                 sim = None
     if sim is None:
-        sim = GpuSimulator(cfg, factory, invariants=invariants, profiler=profiler)
+        sim = GpuSimulator(
+            cfg, factory, invariants=invariants, profiler=profiler,
+            metrics=metrics,
+        )
         sim.load_workload(workload.blocks, workload.max_blocks_per_core)
     if checkpoint_path is not None and checkpoint_interval > 0:
         attach_checkpointing(
@@ -276,12 +285,24 @@ def checkpoint_path_for(spec: RunSpec, directory: Union[str, Path]) -> Path:
     return Path(directory) / f"{spec.benchmark}-{fingerprint(spec)[:12]}.ckpt.json"
 
 
+def metrics_path_for(spec: RunSpec, directory: Union[str, Path]) -> Path:
+    """Canonical metrics-document location for a spec under ``directory``.
+
+    Named ``<benchmark>-<fingerprint[:12]>.metrics.json`` — the same key
+    prefix as cached results, profiles and checkpoints, so all of a
+    run's artifacts join on the fingerprint (see OBSERVABILITY.md).
+    """
+    return Path(directory) / f"{spec.benchmark}-{fingerprint(spec)[:12]}.metrics.json"
+
+
 def run_spec(
     spec: RunSpec,
     strict: bool = True,
     profile_path: Union[str, Path, None] = None,
     checkpoint_path: Union[str, Path, None] = None,
     checkpoint_interval: Optional[int] = None,
+    metrics_path: Union[str, Path, None] = None,
+    metrics_interval: Optional[int] = None,
 ) -> SimulationResult:
     """Execute one fully-normalized :class:`RunSpec`.
 
@@ -315,6 +336,16 @@ def run_spec(
         checkpoint_interval: Cycles between auto-snapshots; ``None``
             defers to ``$REPRO_CHECKPOINT_INTERVAL`` (default
             :data:`~repro.sim.checkpoint.DEFAULT_CHECKPOINT_INTERVAL`).
+        metrics_path: Write a
+            :class:`~repro.sim.telemetry.MetricsRecorder` windowed
+            metrics JSON document here after the run.  ``None``
+            (default) defers to ``$REPRO_METRICS_DIR``: when that names
+            a directory, the document lands there via
+            :func:`metrics_path_for`.  Telemetry never changes the
+            simulated statistics — the telemetry suite asserts this.
+        metrics_interval: Nominal cycles per metrics window; ``None``
+            defers to ``$REPRO_METRICS_INTERVAL`` (default
+            :data:`~repro.sim.telemetry.DEFAULT_METRICS_INTERVAL`).
     """
     kernel = get_benchmark(spec.benchmark, scale=spec.scale)
     builder = HARDWARE_SCHEMES[spec.hardware]
@@ -324,6 +355,17 @@ def run_spec(
         if profile_dir is not None:
             profile_path = profile_dir / f"{spec.benchmark}-{key[:12]}.json"
     profiler = SimProfiler() if profile_path is not None else None
+    if metrics_path is None:
+        metrics_dir = metrics_dir_from_env()
+        if metrics_dir is not None:
+            metrics_path = metrics_path_for(spec, metrics_dir)
+    recorder: Optional[MetricsRecorder] = None
+    if metrics_path is not None:
+        if metrics_interval is None:
+            metrics_interval = metrics_interval_from_env()
+        recorder = MetricsRecorder(interval=metrics_interval)
+        recorder.benchmark = spec.benchmark
+        recorder.fingerprint = key
     if checkpoint_path is None:
         checkpoint_dir = checkpoint_dir_from_env()
         if checkpoint_dir is not None:
@@ -339,12 +381,27 @@ def run_spec(
         kernel, spec.software, builder, spec.distance, spec.degree,
         spec.config, spec.throttle, spec.perfect_memory, strict=strict,
         profiler=profiler,
+        metrics=recorder,
         checkpoint_path=checkpoint_path,
         checkpoint_interval=checkpoint_interval,
         checkpoint_tag=key,
         sentinel=sentinel,
     )
     sentinel.close()
+    if recorder is not None:
+        # A snapshot restored into this run can carry the identity of
+        # the interrupted process; re-stamp so the document names this
+        # spec either way.
+        recorder.benchmark = spec.benchmark
+        recorder.fingerprint = key
+        try:
+            recorder.write(metrics_path)
+        except OSError as exc:
+            warnings.warn(
+                f"metrics write to {metrics_path} dropped ({exc})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     if profiler is not None:
         profiler.benchmark = spec.benchmark
         try:

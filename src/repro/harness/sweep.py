@@ -67,6 +67,18 @@ Fault-tolerance model (the integrity layer of the harness):
   exits 130 and a re-invocation with the same ``--manifest`` resumes
   exactly.  A second signal forces immediate exit.
 
+Per-run observability artifacts: with ``$REPRO_PROFILE_DIR`` /
+``$REPRO_METRICS_DIR`` / ``$REPRO_CHECKPOINT_DIR`` exported (the CLI's
+``--profile`` / ``--metrics-dir`` / ``--checkpoint-dir`` do this before
+the pool starts, so every worker inherits them), each *executed* run
+additionally writes a wall-clock profile, a windowed-metrics time-series
+document, and periodic snapshots, all named
+``<benchmark>-<fingerprint[:12]>.*`` — the same key prefix as this
+module's result cache, so a run's artifacts join on the fingerprint
+(see OBSERVABILITY.md).  Cache hits execute nothing and therefore emit
+nothing.  None of the observers changes simulated statistics, so none
+participates in the cache fingerprint.
+
 Cache invalidation contract: :data:`SCHEMA_VERSION` must be bumped
 whenever a change alters simulation semantics (timing model, prefetcher
 behavior, trace generation, stats definitions).  Configuration changes

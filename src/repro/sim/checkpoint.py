@@ -298,6 +298,7 @@ def restore_simulator(
     max_blocks_per_core: int,
     invariants: Optional[bool] = None,
     profiler: Optional[object] = None,
+    metrics: Optional[object] = None,
 ) -> "object":
     """Build a fresh simulator and restore a validated envelope into it.
 
@@ -317,6 +318,11 @@ def restore_simulator(
         profiler: Attach a profiler; when the snapshot carries profiler
             counters they are restored so the final profile spans both
             processes.
+        metrics: Attach a
+            :class:`~repro.sim.telemetry.MetricsRecorder`; when the
+            snapshot carries recorder state (window ring, running
+            snapshot, next sample boundary) it is restored so the
+            resumed run's window series continues bit-identically.
 
     Returns:
         A :class:`~repro.sim.gpu.GpuSimulator` positioned at the
@@ -326,7 +332,8 @@ def restore_simulator(
     from repro.sim.gpu import GpuSimulator
 
     sim = GpuSimulator(
-        config, prefetcher_factory, invariants=invariants, profiler=profiler
+        config, prefetcher_factory, invariants=invariants, profiler=profiler,
+        metrics=metrics,
     )
     sim.load_workload(blocks, max_blocks_per_core)
     sim.load_state_dict(envelope["payload"], blocks)

@@ -127,6 +127,20 @@ class Core:
         """
         return sum(1 for w in self.warps if not w.finished)
 
+    def warps_blocked_on_memory(self) -> int:
+        """Resident warps whose next instruction waits on an in-flight line.
+
+        The telemetry gauge behind "warps blocked on memory": a warp
+        counts when it still has work but cannot issue until an
+        outstanding load it depends on returns.  Read at window-close
+        sample points only — it walks the warp list, so it is kept off
+        the per-cycle hot path.
+        """
+        return sum(
+            1 for warp in self.warps
+            if not warp.finished and warp.blocked_on_tokens()
+        )
+
     @property
     def drained(self) -> bool:
         """True when no resident warp has work left (O(1))."""

@@ -441,6 +441,18 @@ class Dram:
                 requests.extend(entry.requesters)
         return requests
 
+    def buffered_requests(self) -> int:
+        """Line transactions currently buffered or completing, all channels.
+
+        The telemetry occupancy gauge for the memory controllers: counts
+        :class:`BufferEntry` transactions (merged requesters ride one
+        entry), pending plus in-completion, at the sample instant.
+        """
+        return sum(
+            len(channel.pending) + len(channel._completing)
+            for channel in self.channels
+        )
+
     @property
     def idle(self) -> bool:
         return all(channel.idle for channel in self.channels)

@@ -31,6 +31,7 @@ from repro.sim.invariants import (
 )
 from repro.sim.profiling import SimProfiler
 from repro.sim.stats import SimStats
+from repro.sim.telemetry import MetricsRecorder
 
 PrefetcherFactory = Callable[[int], Optional[HardwarePrefetcher]]
 
@@ -83,6 +84,7 @@ class GpuSimulator:
         prefetcher_factory: Optional[PrefetcherFactory] = None,
         invariants: Optional[bool] = None,
         profiler: Optional[SimProfiler] = None,
+        metrics: Optional[MetricsRecorder] = None,
     ) -> None:
         """Build the machine.
 
@@ -94,6 +96,10 @@ class GpuSimulator:
             profiler: Attach a :class:`~repro.sim.profiling.SimProfiler`;
                 the run then records per-phase wall time and per-component
                 cycle activity.  ``None`` (default) disables profiling.
+            metrics: Attach a
+                :class:`~repro.sim.telemetry.MetricsRecorder`; the run
+                then samples windowed machine metrics on the recorder's
+                cycle cadence.  ``None`` (default) disables telemetry.
         """
         self.config = config
         factory = prefetcher_factory or (lambda core_id: None)
@@ -119,6 +125,14 @@ class GpuSimulator:
         if profiler is not None:
             for core in self.cores:
                 core.profiler = profiler
+        #: Telemetry hook: when set, the main loop calls
+        #: ``metrics.sample(self)`` at the same safe loop-top point as
+        #: the checkpoint hook (and *before* it, so a snapshot taken at
+        #: the same boundary carries the post-sample recorder state), on
+        #: the recorder's own cycle cadence.  Unlike the checkpoint and
+        #: supervision hooks this IS serialized into snapshots — the
+        #: window series of a resumed run must continue bit-identically.
+        self.metrics = metrics
         #: Checkpoint hook: when ``checkpoint_write`` is set and
         #: ``checkpoint_interval`` > 0, the main loop calls
         #: ``checkpoint_write(self)`` at the top of the first iteration at
@@ -230,6 +244,15 @@ class GpuSimulator:
             timer = perf_counter
             prof.start()
 
+        rec = self.metrics
+        if rec is not None:
+            # The recorder owns its next boundary (serialized state):
+            # recomputing it here would re-sample a resumed run's
+            # checkpoint cycle and fork the window series.
+            next_sample = rec.next_sample_cycle
+        else:
+            next_sample = 0
+
         ckpt_write = self.checkpoint_write
         ckpt_interval = self.checkpoint_interval
         if ckpt_write is not None and ckpt_interval > 0:
@@ -249,6 +272,15 @@ class GpuSimulator:
             next_supervision = 0
 
         while cycle < max_cycles:
+            if rec is not None and cycle >= next_sample:
+                # Fires at the first loop-top at or past the boundary
+                # (the event loop may have skipped the boundary cycle
+                # itself); the window records its exact span.  Runs
+                # before the checkpoint hook so a snapshot taken at this
+                # same loop-top already contains this sample.
+                self.cycle = cycle
+                rec.sample(self)
+                next_sample = rec.next_sample_cycle
             if ckpt_write is not None and cycle >= next_checkpoint:
                 self.cycle = cycle
                 ckpt_write(self)
@@ -390,6 +422,12 @@ class GpuSimulator:
 
         self.cycle = cycle
         truncated = cycle >= max_cycles and not self._finished()
+        if rec is not None:
+            # Close the final (possibly partial) window: counters can
+            # advance between the last boundary sample and loop exit
+            # (the drain break fires mid-iteration), and the series must
+            # cover every cycle so totals reconcile with the stats.
+            rec.finish(self)
         if prof is not None:
             prof.finish(cycle)
         if checker is not None:
@@ -458,6 +496,9 @@ class GpuSimulator:
             "profiler": (
                 self.profiler.state_dict() if self.profiler is not None else None
             ),
+            "metrics": (
+                self.metrics.state_dict() if self.metrics is not None else None
+            ),
         }
 
     def load_state_dict(self, state: Dict, blocks: Sequence[Block]) -> None:
@@ -519,6 +560,11 @@ class GpuSimulator:
             self.invariants.load_state_dict(state["invariants"])
         if self.profiler is not None and state["profiler"] is not None:
             self.profiler.load_state_dict(state["profiler"])
+        # .get: snapshots written before the telemetry PR lack the key;
+        # a recorder attached to such a resume simply starts fresh.
+        metrics_state = state.get("metrics")
+        if self.metrics is not None and metrics_state is not None:
+            self.metrics.load_state_dict(metrics_state)
 
     # ------------------------------------------------------------------
     # Statistics
@@ -560,8 +606,12 @@ def run_workload(
     invariants: Optional[bool] = None,
     strict: bool = False,
     profiler: Optional[SimProfiler] = None,
+    metrics: Optional[MetricsRecorder] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a simulator, load a workload, run it."""
-    sim = GpuSimulator(config, prefetcher_factory, invariants=invariants, profiler=profiler)
+    sim = GpuSimulator(
+        config, prefetcher_factory, invariants=invariants, profiler=profiler,
+        metrics=metrics,
+    )
     sim.load_workload(blocks, max_blocks_per_core)
     return sim.run(strict=strict)

@@ -40,6 +40,7 @@ class MemoryRequestQueue:
         "total_merges", "total_requests", "total_created", "total_completed",
         "total_stores_sent", "total_demand_on_prefetch_merges",
         "total_prefetch_dropped_full", "total_prefetch_merged",
+        "total_full_rejections",
     )
 
     def __init__(self, core_id: int, size: int) -> None:
@@ -61,6 +62,11 @@ class MemoryRequestQueue:
         self.total_demand_on_prefetch_merges = 0
         self.total_prefetch_dropped_full = 0
         self.total_prefetch_merged = 0
+        # Demand/store accesses bounced because the MRQ was full with no
+        # mergeable entry (the caller stalls and retries).  Telemetry's
+        # full-stall evidence; prefetch full-drops are counted separately
+        # above because a dropped prefetch never stalls the core.
+        self.total_full_rejections = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -121,6 +127,7 @@ class MemoryRequestQueue:
             self._count_access(merged=True)
             return existing
         if self.full:
+            self.total_full_rejections += 1
             return None
         request = MemoryRequest(line_addr, self.core_id, warp_id, pc, False, cycle)
         request.add_waiter(warp, token)
@@ -136,6 +143,7 @@ class MemoryRequestQueue:
             self._count_access(merged=True)
             return existing
         if self.full:
+            self.total_full_rejections += 1
             return None
         request = MemoryRequest(line_addr, self.core_id, warp_id, pc, False, cycle, is_store=True)
         self._entries[line_addr] = request
@@ -228,6 +236,7 @@ class MemoryRequestQueue:
             "total_demand_on_prefetch_merges": self.total_demand_on_prefetch_merges,
             "total_prefetch_dropped_full": self.total_prefetch_dropped_full,
             "total_prefetch_merged": self.total_prefetch_merged,
+            "total_full_rejections": self.total_full_rejections,
         }
 
     def load_state_dict(self, state: Dict, requests: Dict[int, MemoryRequest]) -> None:
@@ -250,3 +259,5 @@ class MemoryRequestQueue:
         self.total_demand_on_prefetch_merges = state["total_demand_on_prefetch_merges"]
         self.total_prefetch_dropped_full = state["total_prefetch_dropped_full"]
         self.total_prefetch_merged = state["total_prefetch_merged"]
+        # .get: snapshots written before the telemetry PR lack this key.
+        self.total_full_rejections = state.get("total_full_rejections", 0)

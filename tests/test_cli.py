@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -171,3 +172,83 @@ def test_invalid_benchmark_errors():
 def test_invalid_command_exits():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+SAMPLE_METRICS = Path(__file__).parent / "data" / "sample.metrics.json"
+
+
+def test_metrics_dir_writes_fingerprinted_documents(tmp_path, monkeypatch, capsys):
+    """--metrics-dir exports the env var workers inherit and every
+    executed run lands a validated <benchmark>-<fp12>.metrics.json."""
+    import os
+
+    from repro.harness.runner import make_spec, metrics_path_for
+    from repro.sim.telemetry import validate_metrics_document
+
+    monkeypatch.delenv("REPRO_METRICS_DIR", raising=False)
+    monkeypatch.delenv("REPRO_METRICS_INTERVAL", raising=False)
+    metrics = tmp_path / "metrics"
+    assert main([
+        "run", "cell", "--hardware", "mt-hwp", "--throttle", "--scale", "0.1",
+        "--metrics-dir", str(metrics), "--metrics-interval", "250",
+    ]) == 0
+    assert os.environ.get("REPRO_METRICS_DIR") == str(metrics)
+    assert os.environ.get("REPRO_METRICS_INTERVAL") == "250"
+    assert "speedup" in capsys.readouterr().out
+    spec = make_spec("cell", hardware="mt-hwp", throttle=True, scale=0.1)
+    expected = metrics_path_for(spec, metrics)
+    assert expected.exists(), sorted(p.name for p in metrics.iterdir())
+    with open(expected, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    validate_metrics_document(doc)
+    assert doc["benchmark"] == "cell"
+    assert doc["interval"] == 250
+
+
+def test_report_markdown_default(capsys):
+    """`repro report` renders the committed fixture as markdown."""
+    assert main(["report", str(SAMPLE_METRICS)]) == 0
+    out = capsys.readouterr().out
+    assert "# Run metrics: cell" in out
+    assert "## Totals" in out
+    assert "## Timeline" in out
+    assert "## DRAM bandwidth timeline" in out
+    assert "| metric | value |" in out
+
+
+def test_report_json_roundtrip(capsys):
+    assert main(["report", str(SAMPLE_METRICS), "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    with open(SAMPLE_METRICS, "r", encoding="utf-8") as fh:
+        assert doc == json.load(fh)
+
+
+def test_report_chrome_trace(tmp_path, capsys):
+    out_file = tmp_path / "trace.json"
+    assert main([
+        "report", str(SAMPLE_METRICS), "--format", "chrome",
+        "--output", str(out_file),
+    ]) == 0
+    assert "wrote" in capsys.readouterr().out
+    with open(out_file, "r", encoding="utf-8") as fh:
+        trace = json.load(fh)
+    assert trace["traceEvents"][0]["ph"] == "M"
+    assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+
+def test_report_rejects_missing_and_invalid_files(tmp_path, capsys):
+    assert main(["report", str(tmp_path / "absent.metrics.json")]) == 1
+    assert "cannot read" in capsys.readouterr().err
+
+    torn = tmp_path / "torn.metrics.json"
+    torn.write_text("{not json")
+    assert main(["report", str(torn)]) == 1
+    assert "cannot read" in capsys.readouterr().err
+
+    invalid = tmp_path / "invalid.metrics.json"
+    with open(SAMPLE_METRICS, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    doc["schema"] = 99
+    invalid.write_text(json.dumps(doc))
+    assert main(["report", str(invalid)]) == 1
+    assert "schema" in capsys.readouterr().err
