@@ -16,6 +16,17 @@ Commands:
 * ``report`` — render a windowed-metrics document (written by
   ``--metrics-dir``) as a markdown run report, raw JSON, or a Chrome
   trace-event file loadable in ``chrome://tracing``/Perfetto.
+* ``fsck`` — audit every durable artifact under a tree (result cache,
+  manifests, checkpoints, metrics, heartbeats, leases, failure and
+  quarantine reports): classify each file ok/corrupt/orphaned/stale,
+  quarantine corruption with ``--repair``, collect litter with
+  ``--gc``; exits 1 when corruption remains (see
+  :mod:`repro.harness.fsck`).
+* ``chaos`` — seeded crash-consistency campaign: real multi-process
+  sweeps disturbed by randomized faults (SIGKILL, torn writes, disk
+  pressure, lease-holder death) until the result set converges
+  bit-identical to an undisturbed control and ``fsck`` reports the
+  tree clean (see :mod:`repro.harness.chaos`).
 
 The simulating commands (``run``, ``compare``, ``figure``) share the
 sweep flags:
@@ -65,6 +76,13 @@ sweep flags:
 * ``--quarantine-dir DIR`` — poison-spec registry: specs that crash or
   wedge workers on every attempt are quarantined into DIR and skipped
   by later sweeps until their report file is deleted.
+* ``--no-coordinate`` — disable work-claim leases.  By default,
+  cache-backed sweeps claim each uncached spec via an exclusive lease
+  file before simulating it, so concurrent sweeps sharing one cache
+  directory partition the work instead of duplicating it; a sweep
+  denied a claim polls the cache for the other process's result, and
+  orphaned leases (SIGKILLed claimant) are stolen after a grace
+  period.
 
 A sweep interrupted by SIGTERM/SIGINT drains in-flight runs, finalizes
 the ``--manifest`` journal, and exits with status 130; re-invoking the
@@ -84,6 +102,7 @@ import sys
 from typing import List, Optional
 
 from repro.harness import experiments, perf
+from repro.harness.coordinate import DEFAULT_LEASE_GRACE
 from repro.harness.report import (
     format_metrics_report,
     format_speedup_figure,
@@ -195,6 +214,12 @@ def _add_sweep_flags(parser: argparse.ArgumentParser) -> None:
              "every attempt are quarantined into DIR and skipped by later "
              "sweeps",
     )
+    parser.add_argument(
+        "--no-coordinate", action="store_true",
+        help="disable work-claim leases (by default, concurrent sweeps "
+             "sharing one cache directory partition uncached specs via "
+             "exclusive lease files instead of simulating them twice)",
+    )
 
 
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
@@ -226,6 +251,7 @@ def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
         heartbeat_interval=args.heartbeat_interval,
         quarantine_dir=args.quarantine_dir,
         memory_budget_mb=args.memory_budget,
+        coordinate=False if args.no_coordinate else None,
     )
 
 
@@ -363,6 +389,82 @@ def _build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument(
         "--output", default=None, metavar="FILE",
         help="write the rendering to FILE instead of stdout",
+    )
+
+    fsck_p = sub.add_parser(
+        "fsck",
+        help="audit durable artifacts (cache, manifests, checkpoints, "
+             "leases, heartbeats); repair corruption, collect litter",
+    )
+    fsck_p.add_argument(
+        "roots", nargs="*", metavar="ROOT",
+        help="directories or files to audit (default: the resolved "
+             "result-cache directory)",
+    )
+    fsck_p.add_argument(
+        "--cache-dir", default=None,
+        help="result cache to audit when no ROOT is given "
+             "(default: $REPRO_CACHE_DIR or ~/.cache/repro-mtap)",
+    )
+    fsck_p.add_argument(
+        "--grace", type=float, default=None, metavar="S",
+        help="seconds of silence before leases/heartbeats count as "
+             f"expired (default: {DEFAULT_LEASE_GRACE:.0f})",
+    )
+    fsck_p.add_argument(
+        "--repair", action="store_true",
+        help="quarantine corrupt files by renaming to <name>.corrupt",
+    )
+    fsck_p.add_argument(
+        "--gc", action="store_true",
+        help="collect stale/orphaned files (expired leases, dead-worker "
+             "heartbeats, completed-run checkpoints, torn scratch temps)",
+    )
+    fsck_p.add_argument(
+        "--json", action="store_true",
+        help="print the full report document as JSON",
+    )
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="seeded crash-consistency campaign over a real "
+             "multi-process sweep",
+    )
+    chaos_p.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="campaign RNG seed; the fault schedule is deterministic in "
+             "(seed, budget) (default: 0)",
+    )
+    chaos_p.add_argument(
+        "--budget", type=int, default=6, metavar="K",
+        help="faults to inject before letting the sweep converge "
+             "(default: 6)",
+    )
+    chaos_p.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="campaign working directory (default: a fresh temporary "
+             "directory, removed on success)",
+    )
+    chaos_p.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent sweep processes sharing the cache (default: 2)",
+    )
+    chaos_p.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="pool size inside each sweep process (default: 2)",
+    )
+    chaos_p.add_argument(
+        "--scale", type=float, default=0.05,
+        help="benchmark scale factor for the campaign grid (default: 0.05)",
+    )
+    chaos_p.add_argument(
+        "--rounds", type=int, default=30, metavar="N",
+        help="maximum sweep relaunches before declaring non-convergence "
+             "(default: 30)",
+    )
+    chaos_p.add_argument(
+        "--json", action="store_true",
+        help="print the full campaign report as JSON",
     )
     return parser
 
@@ -612,6 +714,47 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    """``fsck``: audit artifacts; exit 1 while corruption remains."""
+    from repro.harness.fsck import audit, format_summary
+    from repro.harness.sweep import default_cache_dir
+
+    roots = [str(r) for r in args.roots]
+    if not roots:
+        roots = [str(args.cache_dir or default_cache_dir())]
+    grace = args.grace if args.grace is not None else DEFAULT_LEASE_GRACE
+    report = audit(roots, grace=grace, repair=args.repair, gc=args.gc)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_summary(report))
+    # Corruption that was successfully quarantined by --repair no longer
+    # poisons readers, so a repaired tree exits 0; anything still corrupt
+    # (or a failed rename) keeps the exit nonzero for CI.
+    return 1 if report.remaining_corrupt() else 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """``chaos``: seeded crash-consistency campaign; 0 iff it converges."""
+    from repro.harness.chaos import run_campaign
+
+    report = run_campaign(
+        seed=args.seed,
+        budget=args.budget,
+        root=args.root,
+        workers=args.workers,
+        jobs=args.jobs,
+        scale=args.scale,
+        max_rounds=args.rounds,
+        log=lambda line: print(f"  {line}", file=sys.stderr),
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code.
 
@@ -628,6 +771,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "perf": _cmd_perf,
         "diffcheck": _cmd_diffcheck,
         "report": _cmd_report,
+        "fsck": _cmd_fsck,
+        "chaos": _cmd_chaos,
     }[args.command]
     try:
         return handler(args)

@@ -499,6 +499,13 @@ class ExperimentRunner:
             ``$REPRO_MEMORY_BUDGET_MB`` so pooled workers inherit it); a
             run over budget checkpoints and fails structurally with
             :class:`~repro.sim.errors.MemoryBudgetExceeded`.
+        coordinate: Work-claim lease coordination with concurrent sweeps
+            sharing the cache directory (see
+            :mod:`repro.harness.coordinate`).  ``None`` (default) turns
+            it on whenever a cache is configured; ``False`` disables it.
+        lease_grace: Seconds of renewal silence before another process
+            may steal one of this sweep's leases (``None``: derived from
+            the supervision cadence, or the module default).
     """
 
     def __init__(
@@ -518,6 +525,8 @@ class ExperimentRunner:
         heartbeat_interval: Optional[float] = None,
         quarantine_dir: Union[str, Path, None] = None,
         memory_budget_mb: Optional[float] = None,
+        coordinate: Optional[bool] = None,
+        lease_grace: Optional[float] = None,
     ) -> None:
         self.config = config or baseline_config()
         self.scale = scale
@@ -538,6 +547,8 @@ class ExperimentRunner:
             failure_report_dir=failure_report_dir,
             heartbeat_interval=heartbeat_interval,
             quarantine_dir=quarantine_dir,
+            coordinate=coordinate,
+            lease_grace=lease_grace,
         )
         self._cache: Dict[str, SimulationResult] = {}
 

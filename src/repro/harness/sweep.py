@@ -66,6 +66,15 @@ Fault-tolerance model (the integrity layer of the harness):
   final manifest record, and raises :class:`SweepInterrupted`; the CLI
   exits 130 and a re-invocation with the same ``--manifest`` resumes
   exactly.  A second signal forces immediate exit.
+* **Cooperative multi-process coordination** (see
+  :mod:`repro.harness.coordinate`).  With a cache attached, the engine
+  claims a work-claim lease under ``<cache-root>/leases/`` before
+  simulating each uncached spec.  A concurrent sweep that finds the
+  lease live defers the spec and polls the cache for the claimant's
+  result instead of re-simulating it; a lease whose renewals stopped
+  (SIGKILLed claimant) is atomically stolen.  Coordination is purely an
+  optimization — correctness still rests on atomic cache writes — and
+  can be disabled with ``coordinate=False`` (CLI: ``--no-coordinate``).
 
 Per-run observability artifacts: with ``$REPRO_PROFILE_DIR`` /
 ``$REPRO_METRICS_DIR`` / ``$REPRO_CHECKPOINT_DIR`` exported (the CLI's
@@ -128,8 +137,17 @@ from typing import (
 )
 
 from repro.harness import supervise
+from repro.harness.coordinate import (
+    DEFAULT_LEASE_GRACE,
+    LeaseManager,
+    lease_dir_for,
+)
 from repro.harness.supervise import QuarantineRegistry, is_disk_pressure
-from repro.sim.checkpoint import checkpoint_dir_from_env, free_bytes
+from repro.sim.checkpoint import (
+    atomic_write_json,
+    checkpoint_dir_from_env,
+    free_bytes,
+)
 from repro.sim.config import GpuConfig
 from repro.sim.errors import (
     FAILURE_REPORT_SCHEMA,
@@ -326,13 +344,17 @@ class ResultCache:
     counters.  Writes are atomic (temp file + ``os.replace``) so
     concurrent sweep workers and concurrent sweeps can share a directory;
     corrupt or unreadable entries — truncated JSON, schema mismatches,
-    torn files from a crashed writer — are treated as misses.  I/O errors
-    degrade gracefully but *audibly*: the first failed write emits a
-    ``RuntimeWarning``, every dropped write is counted (``dropped``, and
-    surfaced in the sweep summary), and disk pressure (ENOSPC/EDQUOT)
-    disables the sink for the rest of the process instead of shredding
-    the remaining free blocks with doomed temp files.  Truncated results
-    are never stored.
+    torn files from a crashed writer — are treated as misses *and
+    evicted*: the bad file is atomically renamed to ``<key>.json.corrupt``
+    (best-effort) so the re-parse tax is paid once, not on every future
+    lookup, and the quarantined artifact stays on disk for ``repro fsck``
+    to report.  Evictions are counted in ``corrupt_evicted`` and surfaced
+    in the sweep summary.  I/O errors degrade gracefully but *audibly*:
+    the first failed write emits a ``RuntimeWarning``, every dropped
+    write is counted (``dropped``, and surfaced in the sweep summary),
+    and disk pressure (ENOSPC/EDQUOT) disables the sink for the rest of
+    the process instead of shredding the remaining free blocks with
+    doomed temp files.  Truncated results are never stored.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
@@ -342,6 +364,7 @@ class ResultCache:
         self.stores = 0
         self.errors = 0
         self.dropped = 0
+        self.corrupt_evicted = 0
         self.disabled = False
         self._warned = False
 
@@ -362,12 +385,27 @@ class ResultCache:
             self.misses += 1
             return None
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
-            # Corrupt / foreign entry: ignore it (a later put overwrites).
             self.errors += 1
             self.misses += 1
+            self._evict_corrupt(path)
             return None
         self.hits += 1
         return stats
+
+    def _evict_corrupt(self, path: Path) -> None:
+        """Quarantine a corrupt entry to ``<name>.corrupt`` (best-effort).
+
+        Atomic rename, so a concurrent reader sees either the corrupt
+        file or nothing — never a half-moved one.  A rename failure
+        (permissions, a concurrent eviction winning the race) is
+        swallowed: eviction is an optimization, the entry was already
+        treated as a miss either way.
+        """
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            return
+        self.corrupt_evicted += 1
 
     def put(self, key: str, spec: RunSpec, stats: SimStats) -> None:
         """Persist a completed run atomically (best-effort; never raises)."""
@@ -386,11 +424,12 @@ class ResultCache:
             "stats": stats.to_dict(),
         }
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp.{os.getpid()}")
-            with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, sort_keys=True)
-            os.replace(tmp, path)
+            # Shared atomic-write helper: pid-stamped scratch temp in the
+            # same directory, replaced into place, cleaned up on any
+            # exception path.  sort_keys makes the entry byte-identical
+            # no matter which process wrote it — what lets tests diff
+            # two independently-merged caches file by file.
+            atomic_write_json(path, payload, sort_keys=True)
         except OSError as exc:
             self.errors += 1
             self.dropped += 1
@@ -725,6 +764,8 @@ class _PendingRun:
     not_before: float = 0.0  # backoff gate for retries
     submitted_wall: float = 0.0  # wall clock of the last submit (liveness)
     collateral: int = 0  # free requeues granted after a supervised kill
+    deferred: bool = False  # parked at least once behind a sibling's lease
+    next_poll: float = 0.0  # earliest next cache/lease poll while parked
 
 
 class SweepInterrupted(RuntimeError):
@@ -815,6 +856,18 @@ class SweepEngine:
             :class:`SweepInterrupted`, second forces immediate exit.
         drain_timeout: Maximum seconds to wait for in-flight runs to
             finish (or checkpoint and bow out) after a shutdown request.
+        coordinate: Claim work-claim leases so concurrent sweeps sharing
+            the cache directory never duplicate a simulation (see
+            :mod:`repro.harness.coordinate`).  ``None`` (default) enables
+            coordination whenever a cache is attached; ``False`` disables
+            it.  Without a cache there is nothing to coordinate through
+            and the knob is ignored.
+        lease_grace: Seconds of renewal silence after which another
+            process may steal one of this sweep's leases.  ``None``
+            derives it from the supervision stall threshold
+            (``heartbeat_interval * stall_grace``, floored) when
+            supervising, else
+            :data:`~repro.harness.coordinate.DEFAULT_LEASE_GRACE`.
     """
 
     def __init__(
@@ -835,6 +888,8 @@ class SweepEngine:
         quarantine_dir: Union[str, Path, None] = None,
         graceful_shutdown: bool = True,
         drain_timeout: float = 30.0,
+        coordinate: Optional[bool] = None,
+        lease_grace: Optional[float] = None,
     ) -> None:
         self.cache = cache
         self.jobs = max(1, int(jobs))
@@ -866,6 +921,22 @@ class SweepEngine:
         )
         self.graceful_shutdown = graceful_shutdown
         self.drain_timeout = max(0.0, float(drain_timeout))
+        self.leases: Optional[LeaseManager] = None
+        if self.cache is not None and coordinate is not False:
+            if lease_grace is None:
+                lease_grace = (
+                    max(
+                        self.heartbeat_interval * self.stall_grace,
+                        supervise.WEDGE_GRACE_FLOOR,
+                    )
+                    if self.heartbeat_interval is not None
+                    else DEFAULT_LEASE_GRACE
+                )
+            self.leases = LeaseManager(
+                lease_dir_for(self.cache.root),
+                grace=lease_grace,
+                renew_interval=self.heartbeat_interval,
+            )
         # Cumulative counters, exposed so callers (and the acceptance
         # tests) can verify e.g. that a warm re-run simulated nothing.
         self.simulated = 0
@@ -876,6 +947,8 @@ class SweepEngine:
         self.wedged = 0  # heartbeat-silent runs killed by the supervisor
         self.quarantined = 0  # newly-poisoned specs written to the registry
         self.quarantine_skips = 0  # runs skipped because already poisoned
+        self.lease_deferred = 0  # specs parked behind a sibling's lease
+        self.lease_deferred_hits = 0  # parked specs resolved from its results
         self.interrupted = False  # the last run() ended in a shutdown
         self._sweep_failures = 0  # per-run() failure count for max_failures
 
@@ -937,12 +1010,19 @@ class SweepEngine:
 
             misses = [(k, s) for k, s in unique.items() if k not in outcomes]
             if misses:
-                if self.graceful_shutdown and supervise.shutdown_requested():
-                    self.interrupted = True
-                elif self.jobs <= 1 or len(misses) == 1:
-                    self._run_inline(misses, outcomes)
-                else:
-                    self._run_pool(misses, outcomes)
+                try:
+                    if self.graceful_shutdown and supervise.shutdown_requested():
+                        self.interrupted = True
+                    elif self.jobs <= 1 or len(misses) == 1:
+                        self._run_inline(misses, outcomes)
+                    else:
+                        self._run_pool(misses, outcomes)
+                finally:
+                    if self.leases is not None:
+                        # Backstop for abort/shutdown paths: a spec we
+                        # never finished must become claimable again
+                        # immediately, not after the grace period.
+                        self.leases.release_all()
             if self.graceful_shutdown and supervise.shutdown_requested():
                 self.interrupted = True
             if self.interrupted:
@@ -1058,9 +1138,93 @@ class SweepEngine:
             parts.append(f"{self.progress.aborted} aborted")
         if self.cache is not None and self.cache.dropped:
             parts.append(f"{self.cache.dropped} cache write(s) dropped")
+        if self.cache is not None and self.cache.corrupt_evicted:
+            count = self.cache.corrupt_evicted
+            noun = "entry" if count == 1 else "entries"
+            parts.append(f"{count} corrupt cache {noun} evicted")
         if self.manifest is not None and self.manifest.dropped:
             parts.append(f"{self.manifest.dropped} manifest append(s) dropped")
+        if self.lease_deferred:
+            parts.append(
+                f"{self.lease_deferred} run(s) deferred to a concurrent "
+                f"sweep ({self.lease_deferred_hits} resolved from its "
+                "results)"
+            )
+        if self.leases is not None and self.leases.steals:
+            parts.append(f"{self.leases.steals} orphaned lease(s) stolen")
         return "; ".join(parts) if parts else None
+
+    # ------------------------------------------------------------------
+    # Work-claim coordination
+    # ------------------------------------------------------------------
+
+    def _lease_poll_interval(self) -> float:
+        """Seconds between cache/lease polls for a deferred spec."""
+        if self.leases is None:
+            return 0.25
+        return min(max(self.leases.grace / 5.0, 0.05), 0.5)
+
+    def _claim(self, key: str) -> bool:
+        """True when this sweep may execute ``key`` now.
+
+        Always true with coordination off; with it on, true when the
+        work-claim lease was acquired (stolen-from-the-dead included) or
+        the lease layer degraded to unbacked claims.  False means a
+        concurrent sweep holds a live claim — defer and poll its result.
+        """
+        if self.leases is None:
+            return True
+        return self.leases.try_acquire(key) is not None
+
+    def _release_claim(self, key: str) -> None:
+        """Release a held work claim (no-op when coordination is off)."""
+        if self.leases is not None:
+            self.leases.release(key)
+
+    def _claimed_cache_hit(
+        self, key: str, outcomes: Dict[str, "Outcome"], deferred: bool
+    ) -> bool:
+        """Post-claim cache re-check; True when the result already landed.
+
+        Closes the poll/claim race: a deferred waiter reads the cache
+        (miss) and then the lease (gone) as two separate operations, so
+        a sibling finishing *between* those reads — ``cache.put`` then
+        release — makes the spec look reclaimable even though its result
+        exists.  Re-checking after the claim succeeds turns that window
+        into a plain cache hit instead of a duplicate simulation.
+        """
+        if self.leases is None or self.cache is None:
+            return False
+        stats = self.cache.get(key)
+        if stats is None:
+            return False
+        outcomes[key] = SimulationResult(stats)
+        self.cache_hits += 1
+        if deferred:
+            self.lease_deferred_hits += 1
+        self._release_claim(key)
+        self.progress.step()
+        return True
+
+    def _poll_deferred(self, key: str, outcomes: Dict[str, "Outcome"]) -> str:
+        """Poll one lease-deferred spec once.
+
+        Returns ``"hit"`` (the claimant's result landed in the cache and
+        was recorded), ``"reclaim"`` (the claimant's lease is gone or
+        stale with no result — the spec should be re-claimed and
+        executed here), or ``"wait"`` (the claim is still live).
+        """
+        stats = self.cache.get(key) if self.cache is not None else None
+        if stats is not None:
+            outcomes[key] = SimulationResult(stats)
+            self.cache_hits += 1
+            self.lease_deferred_hits += 1
+            self.progress.step()
+            return "hit"
+        record = self.leases.read(key)
+        if record is None or self.leases.is_stale(record):
+            return "reclaim"
+        return "wait"
 
     # ------------------------------------------------------------------
 
@@ -1091,6 +1255,9 @@ class SweepEngine:
             self.cache.put(key, spec, result.stats)
         if self.manifest is not None:
             self.manifest.record_success(key, spec, result.stats)
+        # Release strictly *after* the cache write: a waiter that sees
+        # the lease vanish must find the result, or it re-simulates.
+        self._release_claim(key)
         self.progress.step()
 
     def _record_failure(
@@ -1128,6 +1295,9 @@ class SweepEngine:
                 failure.write_report(self.failure_report_dir / f"{key}.json")
             except OSError:
                 pass
+        # A failed spec's claim is released so a concurrent sweep can
+        # attempt it with its own retry budget.
+        self._release_claim(key)
         self.progress.step(failed=True, quarantined=failure.quarantined)
 
     def _maybe_quarantine(self, failure: RunFailure) -> None:
@@ -1208,13 +1378,44 @@ class SweepEngine:
     ) -> None:
         from repro.harness.runner import run_spec
 
-        for index, (key, spec) in enumerate(misses):
+        pending: deque = deque(misses)
+        waiting: deque = deque()  # (key, spec, earliest-next-poll monotonic)
+        deferred_keys: set = set()  # ever parked behind a sibling's lease
+        poll = self._lease_poll_interval()
+        while pending or waiting:
             if self.graceful_shutdown and supervise.shutdown_requested():
                 self.interrupted = True
                 return
             if self._aborted():
-                self._record_aborted(misses[index:], outcomes)
+                self._record_aborted(
+                    list(pending) + [(k, s) for k, s, _ in waiting], outcomes
+                )
                 return
+            if not pending:
+                # Everything left is parked behind a sibling's lease:
+                # poll the cache/lease state on the poll cadence.
+                key, spec, next_poll = waiting.popleft()
+                delay = next_poll - time.monotonic()
+                if delay > 0:
+                    # Capped so shutdown requests stay responsive.
+                    time.sleep(min(0.25, delay))
+                    waiting.appendleft((key, spec, next_poll))
+                    continue
+                state = self._poll_deferred(key, outcomes)
+                if state == "wait":
+                    waiting.append((key, spec, time.monotonic() + poll))
+                elif state == "reclaim":
+                    pending.append((key, spec))
+                continue
+            key, spec = pending.popleft()
+            if not self._claim(key):
+                if key not in deferred_keys:
+                    deferred_keys.add(key)
+                    self.lease_deferred += 1
+                waiting.append((key, spec, time.monotonic() + poll))
+                continue
+            if self._claimed_cache_hit(key, outcomes, key in deferred_keys):
+                continue
             attempt = 0
             while True:
                 try:
@@ -1232,6 +1433,7 @@ class SweepEngine:
                     ):
                         # The run checkpointed and bowed out; leave it
                         # unrecorded so a resumed sweep re-executes it.
+                        # (run() releases the claim via release_all.)
                         self.interrupted = True
                         return
                     if is_transient_failure(exc) and attempt < self.retries:
@@ -1364,6 +1566,8 @@ class SweepEngine:
         executor = fresh_executor()
         work: deque = deque(_PendingRun(key, spec) for key, spec in misses)
         running: Dict[Future, _PendingRun] = {}
+        waiting: List[_PendingRun] = []  # parked behind a sibling's lease
+        lease_poll = self._lease_poll_interval()
 
         def submit(run: _PendingRun) -> None:
             nonlocal executor
@@ -1391,7 +1595,7 @@ class SweepEngine:
         draining = False
         drain_deadline = 0.0
         try:
-            while work or running:
+            while work or running or waiting:
                 if self.graceful_shutdown and supervise.shutdown_requested():
                     if not draining:
                         draining = True
@@ -1407,14 +1611,18 @@ class SweepEngine:
                         self._record_aborted(
                             [
                                 (r.key, r.spec)
-                                for r in list(running.values()) + list(work)
+                                for r in list(running.values())
+                                + list(work)
+                                + waiting
                             ],
                             outcomes,
                         )
                         break
                     now = time.monotonic()
                     # Dispatch work whose backoff gate has passed, up to
-                    # the live capacity of the current executor.
+                    # the live capacity of the current executor.  A spec
+                    # whose work-claim lease is held by a concurrent
+                    # sweep is parked in ``waiting`` instead of submitted.
                     capacity = max(0, max_workers - lost_slots)
                     deferred: List[_PendingRun] = []
                     while work and len(running) < capacity:
@@ -1422,27 +1630,53 @@ class SweepEngine:
                         if run.not_before > now:
                             deferred.append(run)
                             continue
+                        if not self._claim(run.key):
+                            if not run.deferred:
+                                run.deferred = True
+                                self.lease_deferred += 1
+                            run.next_poll = now + lease_poll
+                            waiting.append(run)
+                            continue
+                        if self._claimed_cache_hit(
+                            run.key, outcomes, run.deferred
+                        ):
+                            continue
                         submit(run)
                     work.extendleft(reversed(deferred))
+                    # Poll parked specs: a sibling's finished result is a
+                    # cache hit; a dead sibling's spec is reclaimed.
+                    if waiting:
+                        still_waiting: List[_PendingRun] = []
+                        for run in waiting:
+                            if run.next_poll > now:
+                                still_waiting.append(run)
+                                continue
+                            state = self._poll_deferred(run.key, outcomes)
+                            if state == "wait":
+                                run.next_poll = now + lease_poll
+                                still_waiting.append(run)
+                            elif state == "reclaim":
+                                work.append(run)
+                        waiting = still_waiting
                     if not running:
-                        if any(r.not_before > now for r in work):
+                        gates = [
+                            r.not_before for r in work if r.not_before > now
+                        ]
+                        gates.extend(
+                            r.next_poll for r in waiting if r.next_poll > now
+                        )
+                        if gates:
                             # Capped so a shutdown request interrupts the
                             # idle backoff wait promptly (PEP 475 makes a
                             # plain sleep restart after the signal).
                             time.sleep(
-                                min(
-                                    0.25,
-                                    max(
-                                        0.0,
-                                        min(r.not_before for r in work) - now,
-                                    ),
-                                )
+                                min(0.25, max(0.0, min(gates) - now))
                             )
                             continue
                         if work and capacity == 0:
                             executor = fresh_executor()
                             continue
-                        if not work:
+                        if not work and not waiting:
                             break
                         continue
                 # Wait for a completion, the earliest deadline, or the
@@ -1458,6 +1692,11 @@ class SweepEngine:
                 ]
                 wait_bounds.extend(
                     run.not_before - now for run in work if run.not_before > now
+                )
+                wait_bounds.extend(
+                    run.next_poll - now
+                    for run in waiting
+                    if run.next_poll > now
                 )
                 if supervising or self.graceful_shutdown or draining:
                     wait_bounds.append(0.25)

@@ -133,6 +133,20 @@ def config_fingerprint(config: GpuConfig) -> str:
     return hashlib.sha256(document.encode("utf-8")).hexdigest()
 
 
+def scratch_path(path: Union[str, Path]) -> Path:
+    """Scratch temp location for an atomic write targeting ``path``.
+
+    ``.tmp-<pid>-<name>`` in the same directory: the same filesystem (so
+    ``os.replace`` stays atomic), a leading dot + ``tmp`` prefix so
+    humans and the artifact auditor (:mod:`repro.harness.fsck`) recognize
+    scratch litter at a glance, and a pid stamp so the auditor can
+    attribute an orphaned temp to a dead writer and collect it under
+    ``--gc`` while leaving a live writer's in-flight temp alone.
+    """
+    path = Path(path)
+    return path.parent / f".tmp-{os.getpid()}-{path.name}"
+
+
 def atomic_write_json(
     path: Union[str, Path],
     document: object,
@@ -143,23 +157,33 @@ def atomic_write_json(
     """Write ``document`` as JSON to ``path`` atomically; returns the path.
 
     Parent directories are created.  The document is serialized to a
-    pid-unique temp file in the same directory and moved into place with
-    ``os.replace`` (atomic on POSIX), so concurrent writers cannot
-    observe — or leave behind — a torn file at the final path.  This is
-    the same pattern the sweep result cache uses; the profiler
-    (:meth:`repro.sim.profiling.SimProfiler.write`) and the perf harness
-    (:func:`repro.harness.perf.write_document`) share this helper.
-    ``sort_keys`` / ``trailing_newline`` exist for committed,
+    pid-unique temp file (:func:`scratch_path`) in the same directory and
+    moved into place with ``os.replace`` (atomic on POSIX), so concurrent
+    writers cannot observe — or leave behind — a torn file at the final
+    path.  On *any* failure after the temp file is created (serialization
+    error, ENOSPC mid-write, a failed replace) the temp is removed before
+    the exception propagates, so an exception path never leaks scratch
+    litter.  This is the same pattern the sweep result cache uses; the
+    profiler (:meth:`repro.sim.profiling.SimProfiler.write`) and the perf
+    harness (:func:`repro.harness.perf.write_document`) share this
+    helper.  ``sort_keys`` / ``trailing_newline`` exist for committed,
     diff-friendly documents such as ``BENCH_perf.json``.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp = scratch_path(path)
     text = json.dumps(document, indent=indent, sort_keys=sort_keys)
     if trailing_newline:
         text += "\n"
-    tmp.write_text(text, encoding="utf-8")
-    os.replace(tmp, path)
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - cleanup is best-effort
+            pass
+        raise
     return path
 
 

@@ -574,3 +574,92 @@ def supervised_sweep_main(argv=None) -> None:
     }
     print("COMPLETE " + json.dumps(table, sort_keys=True), flush=True)
     raise SystemExit(0)
+
+
+def coordinated_sweep_main(argv=None) -> None:
+    """Subprocess entry point for the multi-process coordination tests.
+
+    Runs the same small real grid as :func:`supervised_sweep_main`, but
+    through a *cache-backed, lease-coordinated* engine: ``argv[0]`` is
+    the cache directory shared with sibling processes.  Prints exactly
+    one line on success::
+
+        COMPLETE simulated=<n> deferred_hits=<m> <json>
+
+    where ``<n>`` is the number of runs this process simulated itself,
+    ``<m>`` the number it resolved from a sibling's cached results after
+    being denied the lease, and ``<json>`` maps each spec fingerprint to
+    its stats dict (sorted keys, byte-comparable across processes).
+    Exits 130 on a drain signal, like its uncoordinated sibling.
+    """
+    import sys
+
+    from repro.harness.runner import make_spec
+    from repro.harness.sweep import SweepEngine, SweepInterrupted
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        raise SystemExit("usage: coordinated_sweep_main <cache-dir>")
+    specs = [
+        make_spec(benchmark=bench, hardware=hw, scale=0.05)
+        for bench in ("monte", "cell")
+        for hw in ("none", "stride_pc", "stride_pc_wid", "stream")
+    ]
+    engine = SweepEngine(
+        cache=ResultCache(args[0]),
+        jobs=2,
+        worker=paced_worker,
+        heartbeat_interval=0.2,
+        retries=1,
+        retry_backoff=0.1,
+        # Generous on purpose: the acceptance test asserts *zero*
+        # duplicated simulations, and a tight grace lets a healthy
+        # holder's lease lapse under CI load (a legal at-least-once
+        # steal, but not what this scenario measures).  Liveness still
+        # holds — a killed holder is detected by pid, not by grace.
+        lease_grace=60.0,
+        graceful_shutdown=True,
+    )
+    try:
+        outcomes = engine.run(specs)
+    except SweepInterrupted as exc:
+        print(f"INTERRUPTED done={exc.done} pending={exc.pending}",
+              flush=True)
+        raise SystemExit(130)
+    table = {
+        fingerprint(spec): outcome.stats.to_dict()
+        for spec, outcome in zip(specs, outcomes)
+    }
+    print(
+        f"COMPLETE simulated={engine.simulated} "
+        f"deferred_hits={engine.lease_deferred_hits} "
+        + json.dumps(table, sort_keys=True),
+        flush=True,
+    )
+    raise SystemExit(0)
+
+
+def lease_hold_main(argv=None) -> None:
+    """Subprocess entry point that claims a lease and then hangs forever.
+
+    ``argv`` is ``<lease-dir> <key>``: acquire the lease through a real
+    :class:`~repro.harness.coordinate.LeaseManager` (so it renews on
+    cadence), print ``HELD`` as the parent's synchronization point, and
+    sleep until killed.  The parent SIGKILLs this process to manufacture
+    an orphaned-but-recently-renewed lease whose claimant pid is dead —
+    the exact artifact the steal path must recover from.
+    """
+    import sys
+
+    from repro.harness.coordinate import LeaseManager
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    if len(args) < 2:
+        raise SystemExit("usage: lease_hold_main <lease-dir> <key>")
+    manager = LeaseManager(args[0], grace=30.0, renew_interval=0.1)
+    lease = manager.try_acquire(args[1])
+    if lease is None:
+        raise SystemExit("lease denied")
+    print("HELD", flush=True)
+    while True:
+        time.sleep(0.5)

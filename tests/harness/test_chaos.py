@@ -1,0 +1,91 @@
+"""Chaos-campaign acceptance: disturb, converge, compare, audit.
+
+Runs the pinned smoke campaign from :mod:`tests.harness.chaos` — two
+real subprocess sweep fleets sharing one cache, five injected faults
+from a seeded schedule — and pins the full acceptance contract:
+
+* at least five faults were actually injected,
+* the fleet converged despite them,
+* the merged cache is bit-identical to an undisturbed in-process
+  control,
+* ``fsck`` reported every corruption the campaign planted, and
+* ``fsck --repair --gc`` left the tree clean.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from tests.harness.chaos import (
+    SMOKE_BUDGET,
+    ChaosReport,
+    campaign_specs,
+    smoke_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory) -> ChaosReport:
+    """One pinned-seed campaign shared by every assertion below."""
+    root = tmp_path_factory.mktemp("chaos")
+    return smoke_campaign(root=root)
+
+
+class TestSmokeCampaign:
+    def test_campaign_passes(self, campaign):
+        assert campaign.ok, campaign.summary()
+
+    def test_at_least_five_faults_injected(self, campaign):
+        assert len(campaign.faults) >= 5
+        assert len(campaign.faults) >= SMOKE_BUDGET
+        for fault in campaign.faults:
+            assert fault.kind and fault.detail
+
+    def test_converged_within_recovery_rounds(self, campaign):
+        assert campaign.converged
+        assert campaign.rounds >= 1
+
+    def test_results_bit_identical_to_control(self, campaign):
+        assert campaign.identical
+        assert campaign.mismatches == []
+
+    def test_fsck_reported_every_planted_corruption(self, campaign):
+        assert len(campaign.planted) == 5
+        statuses = {item["status"] for item in campaign.planted}
+        assert statuses == {"corrupt", "stale", "orphaned"}
+        # fsck_pre counted at least everything planted.
+        assert campaign.fsck_pre["corrupt"] >= 2
+        assert campaign.fsck_pre["orphaned"] >= 2
+        assert campaign.fsck_pre["stale"] >= 1
+
+    def test_repair_and_gc_left_tree_clean(self, campaign):
+        assert campaign.repaired >= 2
+        assert campaign.collected >= 3
+        assert campaign.clean_after
+        assert campaign.fsck_post["corrupt"] == 0
+        assert campaign.fsck_post["orphaned"] == 0
+        assert campaign.fsck_post["stale"] == 0
+
+    def test_report_document_round_trips(self, campaign):
+        doc = json.loads(json.dumps(campaign.to_dict(), sort_keys=True))
+        assert doc["ok"] is True
+        assert doc["seed"] == campaign.seed
+        assert len(doc["faults"]) == len(campaign.faults)
+
+
+class TestCampaignPlumbing:
+    def test_grid_is_stable_and_fingerprintable(self):
+        specs = campaign_specs(0.05)
+        assert len(specs) == 6
+        assert len({spec.benchmark for spec in specs}) == 2
+
+    def test_cli_chaos_smoke(self, tmp_path, capsys):
+        """A tiny disturbed campaign through the real CLI exits 0."""
+        rc = cli_main([
+            "chaos", "--seed", "7", "--budget", "1",
+            "--root", str(tmp_path / "run"), "--workers", "1",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "chaos(seed=7): OK" in out

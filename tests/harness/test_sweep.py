@@ -150,6 +150,31 @@ class TestResultCache:
         assert cache.get(key) is None
         assert cache.errors == 1
 
+    def test_corrupt_entry_is_evicted_to_forensic_sidecar(self, tmp_path):
+        """A corrupt entry is renamed to ``<key>.json.corrupt`` on read:
+        later reads stop paying the re-parse tax, the bytes survive for
+        ``repro fsck``, and the eviction is counted."""
+        cache = ResultCache(tmp_path)
+        spec = make_spec("monte", scale=SCALE)
+        key = fingerprint(spec)
+        faults.corrupt_cache_entry(cache, key, "truncated-json")
+        path = cache.path_for(key)
+        assert cache.get(key) is None
+        assert not path.exists(), "corrupt entry left in place"
+        sidecar = path.with_name(path.name + ".corrupt")
+        assert sidecar.exists(), "forensic sidecar missing"
+        assert cache.corrupt_evicted == 1
+
+    def test_corrupt_eviction_surfaces_in_sweep_summary(self, tmp_path):
+        spec = make_spec("monte", scale=SCALE)
+        key = fingerprint(spec)
+        engine = SweepEngine(cache=ResultCache(tmp_path), jobs=1)
+        faults.corrupt_cache_entry(engine.cache, key, "torn-binary")
+        engine.run([spec])
+        summary = engine._summary_text()
+        assert summary is not None
+        assert "1 corrupt cache entry evicted" in summary
+
     @pytest.mark.parametrize("mode", faults.CORRUPTION_MODES)
     def test_realistic_corruption_is_a_miss_never_a_crash(self, tmp_path, mode):
         """Truncated JSON, schema mismatches, torn binary writes, and

@@ -35,6 +35,7 @@ from repro.sim.checkpoint import (
     load_checkpoint,
     payload_digest,
     restore_simulator,
+    scratch_path,
     write_checkpoint,
 )
 from repro.sim.config import baseline_config
@@ -344,7 +345,43 @@ def test_atomic_write_json_basics(tmp_path):
     text = target.read_text(encoding="utf-8")
     assert text.endswith("\n")
     assert text.index('"a"') < text.index('"b"')
-    assert not list(target.parent.glob("*.tmp.*")), "temp file left behind"
+    leftovers = list(target.parent.glob(".tmp-*")) + list(
+        target.parent.glob("*.tmp.*")
+    )
+    assert not leftovers, "temp file left behind"
+
+
+def test_scratch_path_is_sibling_hidden_and_pid_stamped():
+    """Scratch temps are dot-hidden siblings carrying the writer's pid."""
+    import os
+
+    target = Path("/some/dir/doc.json")
+    tmp = scratch_path(target)
+    assert tmp.parent == target.parent
+    assert tmp.name == f".tmp-{os.getpid()}-doc.json"
+
+
+def test_atomic_write_json_cleans_scratch_on_failure(tmp_path, monkeypatch):
+    """A failed publish must not leave the scratch temp behind.
+
+    The rename is forced to fail (read-only-rename shim), standing in
+    for any mid-write crash short of SIGKILL; the target must stay
+    absent and the directory must hold no ``.tmp-*`` litter for fsck to
+    later classify as orphaned.
+    """
+    import os
+
+    target = tmp_path / "doc.json"
+
+    def refuse(*_args, **_kwargs):
+        raise OSError(28, "No space left on device (injected)")
+
+    monkeypatch.setattr(os, "replace", refuse)
+    with pytest.raises(OSError):
+        atomic_write_json(target, {"a": 1})
+    monkeypatch.undo()
+    assert not target.exists()
+    assert not list(tmp_path.glob(".tmp-*")), "scratch temp left behind"
 
 
 def test_attach_checkpointing_zero_interval_disarms():
