@@ -101,7 +101,7 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.harness import experiments, perf
+from repro.harness import experiments, perf, supervise
 from repro.harness.coordinate import DEFAULT_LEASE_GRACE
 from repro.harness.report import (
     format_metrics_report,
@@ -493,6 +493,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         result = runner.run(args.benchmark, **variant)
     stats = result.stats.as_dict()
     stats["speedup_over_baseline"] = result.speedup_over(baseline)
+    # Peak RSS rides along in every harness mode's output (perf totals,
+    # sweep manifests, heartbeats) so memory use is always attributable.
+    stats["peak_rss_kb"] = supervise.peak_rss_kb()
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True))
     else:

@@ -47,6 +47,24 @@ class HardwarePrefetcher(abc.ABC):
             addr + stride * (self.distance + k) for k in range(self.degree)
         ]
 
+    def _tables(self):
+        """The prefetcher's LRU tables, for diagnostic aggregation.
+
+        Subclasses with training tables override this; the profiler sums
+        each table's lookup/hit tallies into its ``table_lookups`` /
+        ``table_hits`` counts at the end of an instrumented run.
+        """
+        return ()
+
+    def table_stats(self) -> Dict[str, int]:
+        """Aggregate lookup/hit tallies over all tables (diagnostics)."""
+        lookups = 0
+        hits = 0
+        for table in self._tables():
+            lookups += table.lookups
+            hits += table.hits
+        return {"lookups": lookups, "hits": hits}
+
     def periodic_update(self, metrics: Dict[str, float]) -> None:
         """Hook for feedback-directed variants; called once per period.
 

@@ -121,6 +121,9 @@ class GhbPrefetcher(HardwarePrefetcher):
                 break
         return targets
 
+    def _tables(self):
+        return (self._index,)
+
     def reset(self) -> None:
         super().reset()
         self._ghb.clear()

@@ -215,6 +215,9 @@ class MtHwpPrefetcher(HardwarePrefetcher):
                     self.promotions += 1
                     return
 
+    def _tables(self):
+        return (self.pws, self.gs, self.ip)
+
     def reset(self) -> None:
         super().reset()
         self.pws.clear()

@@ -54,6 +54,9 @@ class StrideRptPrefetcher(HardwarePrefetcher):
             return self.targets_from_stride(addr, entry.stride)
         return []
 
+    def _tables(self):
+        return (self.table,)
+
     def reset(self) -> None:
         super().reset()
         self.table.clear()

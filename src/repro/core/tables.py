@@ -31,7 +31,7 @@ def decode_key(key) -> Hashable:
 class LruTable(Generic[V]):
     """A bounded mapping with least-recently-used replacement."""
 
-    __slots__ = ("capacity", "_entries", "evictions")
+    __slots__ = ("capacity", "_entries", "evictions", "lookups", "hits")
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
@@ -39,12 +39,21 @@ class LruTable(Generic[V]):
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, V]" = OrderedDict()
         self.evictions = 0
+        # Diagnostic lookup/hit tallies for the profiler's table-pressure
+        # view (``SimProfiler.counts``).  Deliberately NOT serialized:
+        # they observe the run without being architectural state, so a
+        # checkpoint/resume run may legitimately report lower totals.
+        self.lookups = 0
+        self.hits = 0
 
     def get(self, key: Hashable, touch: bool = True) -> Optional[V]:
         """Return the entry for ``key`` (updating recency) or None."""
+        self.lookups += 1
         entry = self._entries.get(key)
-        if entry is not None and touch:
-            self._entries.move_to_end(key)
+        if entry is not None:
+            self.hits += 1
+            if touch:
+                self._entries.move_to_end(key)
         return entry
 
     def put(self, key: Hashable, value: V) -> Optional[Tuple[Hashable, V]]:

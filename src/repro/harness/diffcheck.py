@@ -102,6 +102,9 @@ class Variant:
     #: so every prefetch is dropped and no update can ever lower it.
     pin_throttle_max: bool = False
     max_cycles: Optional[int] = None
+    #: Run with the linear-scan reference DRAM scheduler instead of the
+    #: indexed default (the ``dram-indexed-vs-reference`` oracle's rhs).
+    reference_dram: bool = False
 
     def resolve_builder(self) -> Optional[Callable]:
         """The concrete ``builder(distance, degree)`` for this variant."""
@@ -144,6 +147,10 @@ class DiffRunner:
     def _execute(self, kernel: KernelSpec, cfg: GpuConfig, variant: Variant) -> SimStats:
         if variant.max_cycles is not None:
             cfg = cfg.replace(max_cycles=variant.max_cycles)
+        if variant.reference_dram:
+            cfg = cfg.replace(
+                dram=dataclasses.replace(cfg.dram, reference_scheduler=True)
+            )
         throttle = variant.throttle
         if variant.pin_throttle_max:
             base = cfg.throttle
@@ -391,6 +398,38 @@ def _check_max_cycles_invariance(
     return mismatches
 
 
+def _check_dram_indexed_vs_reference(
+    kernel: KernelSpec, cfg: GpuConfig, runner: DiffRunner
+) -> List[DifferentialMismatch]:
+    """Indexed FR-FCFS DRAM scheduler ≡ the linear-scan reference.
+
+    The indexed scheduler (per-bank open-row buckets plus an
+    arrival-order structure, ``repro.sim.dram``) exists purely for
+    speed; it must reproduce the reference scan's pick sequence — and
+    therefore every statistic — bit for bit, including under late
+    demand-on-prefetch promotions, which the indexed side applies
+    eagerly while the reference scan re-derives them lazily.
+    """
+    mismatches: List[DifferentialMismatch] = []
+    for scheme, throttle in (
+        ("none", False),
+        ("stride_pc_wid", True),
+        ("mt-hwp", False),
+    ):
+        mismatches += _pair_check(
+            "dram-indexed-vs-reference",
+            f"{scheme}: the indexed FR-FCFS scheduler must reproduce the "
+            "reference scan's statistics exactly",
+            kernel, cfg, runner,
+            Variant(key=f"{scheme}-t{throttle}", builder=scheme, throttle=throttle),
+            Variant(
+                key=f"{scheme}-t{throttle}-dram-ref", builder=scheme,
+                throttle=throttle, reference_dram=True,
+            ),
+        )
+    return mismatches
+
+
 def _check_sanity_bounds(
     kernel: KernelSpec, cfg: GpuConfig, runner: DiffRunner
 ) -> List[DifferentialMismatch]:
@@ -504,6 +543,11 @@ ORACLES: Tuple[Oracle, ...] = (
         _check_max_cycles_invariance,
     ),
     Oracle(
+        "dram-indexed-vs-reference",
+        "indexed FR-FCFS DRAM scheduler ≡ linear-scan reference",
+        _check_dram_indexed_vs_reference,
+    ),
+    Oracle(
         "sanity-bounds",
         "raw-counter bounds + cross-scheme demand-traffic invariance",
         _check_sanity_bounds,
@@ -590,6 +634,9 @@ def config_to_dict(cfg: GpuConfig) -> Dict:
         "interconnect_latency": cfg.interconnect.latency,
         "throttle_period": cfg.throttle.period,
         "max_cycles": cfg.max_cycles,
+        "dram_channels": cfg.dram.num_channels,
+        "dram_banks": cfg.dram.banks_per_channel,
+        "dram_demand_priority": cfg.dram.demand_priority,
     }
 
 
@@ -607,6 +654,16 @@ def config_from_dict(doc: Dict) -> GpuConfig:
         ),
         throttle=dataclasses.replace(base.throttle, period=doc["throttle_period"]),
         max_cycles=doc["max_cycles"],
+        # .get: minimal-repro docs written before the DRAM dimensions
+        # were fuzzed replay against the baseline geometry.
+        dram=dataclasses.replace(
+            base.dram,
+            num_channels=doc.get("dram_channels", base.dram.num_channels),
+            banks_per_channel=doc.get("dram_banks", base.dram.banks_per_channel),
+            demand_priority=doc.get(
+                "dram_demand_priority", base.dram.demand_priority
+            ),
+        ),
     )
 
 
@@ -672,7 +729,12 @@ def fuzz_config(rng) -> GpuConfig:
     Tiny MRQs (8 entries) are deliberately over-represented: the
     full-queue prefetch-drop and store-backlog paths only execute under
     queue pressure, and the baseline 64-entry MRQ rarely fills on small
-    fuzz kernels.
+    fuzz kernels.  Tiny DRAM geometries (one channel, one bank) are
+    over-represented for the same reason: they concentrate all traffic
+    in one request buffer, maximizing the scheduling interleavings —
+    row-hit promotions past older misses, late demand promotions,
+    ready-cycle ties — that the indexed-vs-reference oracle must agree
+    on.
     """
     return config_from_dict(
         {
@@ -682,6 +744,9 @@ def fuzz_config(rng) -> GpuConfig:
             "interconnect_latency": rng.choice((1, 20)),
             "throttle_period": rng.choice((200, 1000)),
             "max_cycles": 2_000_000,
+            "dram_channels": rng.choice((1, 1, 2, 8)),
+            "dram_banks": rng.choice((1, 2, 8)),
+            "dram_demand_priority": rng.choice((True, True, False)),
         }
     )
 

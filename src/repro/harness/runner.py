@@ -19,7 +19,10 @@ pay for each simulation once.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
+import hashlib
+import json
 import math
 import os
 import warnings
@@ -62,6 +65,72 @@ from repro.trace.benchmarks import get_benchmark
 from repro.trace.kernels import KernelSpec
 from repro.trace.swp import SCHEMES, SoftwarePrefetchConfig
 from repro.trace.tracegen import generate_workload
+
+
+class WorkloadMemo:
+    """In-process LRU memo for :func:`generate_workload` results.
+
+    A sweep's specs draw from a handful of kernel × software-prefetch
+    combinations (six benchmarks, a few schemes), yet every run used to
+    regenerate its trace from scratch — for short runs in a warm worker
+    process the regeneration rivals the simulation itself.  Workloads
+    are immutable once generated: the simulator builds fresh
+    :class:`~repro.sim.warp.Warp` objects around the shared instruction
+    streams and never writes to a stream or a block tuple, so one
+    :class:`~repro.trace.tracegen.Workload` can safely back any number
+    of (even concurrent) simulations in this process.
+
+    Entries are keyed by a digest of the full kernel spec plus the
+    software-prefetch config, so any change to either regenerates.  The
+    memo is per-process by construction; pooled sweep workers each keep
+    their own, and the sweep engine surfaces the counters it can see
+    (the inline path's) in its summary line.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity <= 0:
+            raise ValueError("workload memo capacity must be positive")
+        self.capacity = capacity
+        self._entries: "collections.OrderedDict" = collections.OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(kernel: KernelSpec, swp: SoftwarePrefetchConfig) -> str:
+        """Stable digest over the kernel spec and software-prefetch config."""
+        payload = {
+            "kernel": dataclasses.asdict(kernel),
+            "swp": dataclasses.asdict(swp),
+        }
+        canonical = json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), default=repr
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def get(self, kernel: KernelSpec, swp: SoftwarePrefetchConfig):
+        """Return the (possibly shared) workload for ``kernel`` under ``swp``."""
+        key = self.key(kernel, swp)
+        workload = self._entries.get(key)
+        if workload is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return workload
+        self.misses += 1
+        workload = generate_workload(kernel, swp=swp)
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = workload
+        return workload
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters (test isolation)."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Process-wide workload memo used by every :func:`_simulate` call.
+WORKLOAD_MEMO = WorkloadMemo()
 
 
 def _mt_hwp_builder(pws: bool, gs: bool, ip: bool) -> Callable:
@@ -221,7 +290,7 @@ def _simulate(
     factory = (
         (lambda core_id: builder(distance, degree)) if builder is not None else None
     )
-    workload = generate_workload(kernel, swp=swp)
+    workload = WORKLOAD_MEMO.get(kernel, swp)
     sim: Optional[GpuSimulator] = None
     if checkpoint_path is not None:
         checkpoint_path = Path(checkpoint_path)

@@ -951,6 +951,10 @@ class SweepEngine:
         self.lease_deferred_hits = 0  # parked specs resolved from its results
         self.interrupted = False  # the last run() ended in a shutdown
         self._sweep_failures = 0  # per-run() failure count for max_failures
+        # Trace-memo traffic observed by this engine's process during
+        # run() (the inline path; pooled workers keep their own memos).
+        self.trace_memo_hits = 0
+        self.trace_memo_misses = 0
 
     # ------------------------------------------------------------------
 
@@ -969,6 +973,11 @@ class SweepEngine:
 
         outcomes: Dict[str, Outcome] = {}
         self.interrupted = False
+        # Baseline for the per-run() trace-memo delta (lazy import keeps
+        # runner -> sweep a one-way module dependency).
+        from repro.harness.runner import WORKLOAD_MEMO
+
+        memo_base = (WORKLOAD_MEMO.hits, WORKLOAD_MEMO.misses)
         with self._signal_guard():
             if self.cache is not None:
                 for key, spec in unique.items():
@@ -1023,6 +1032,8 @@ class SweepEngine:
                         # never finished must become claimable again
                         # immediately, not after the grace period.
                         self.leases.release_all()
+            self.trace_memo_hits += WORKLOAD_MEMO.hits - memo_base[0]
+            self.trace_memo_misses += WORKLOAD_MEMO.misses - memo_base[1]
             if self.graceful_shutdown and supervise.shutdown_requested():
                 self.interrupted = True
             if self.interrupted:
@@ -1118,6 +1129,13 @@ class SweepEngine:
         dropped = self._dropped_writes()
         if dropped:
             summary["dropped_writes"] = dropped
+        if self.trace_memo_hits or self.trace_memo_misses:
+            summary["trace_memo_hits"] = self.trace_memo_hits
+            summary["trace_memo_misses"] = self.trace_memo_misses
+        # Engine-process peak RSS: every harness mode records its memory
+        # high-water mark (perf totals, supervision heartbeats, and this
+        # manifest record), so no emitted document carries a null.
+        summary["peak_rss_kb"] = supervise.peak_rss_kb()
         return summary
 
     def _dropped_writes(self) -> int:
@@ -1132,6 +1150,11 @@ class SweepEngine:
     def _summary_text(self) -> Optional[str]:
         """Human-readable anomaly summary for the progress stream."""
         parts: List[str] = []
+        if self.trace_memo_hits or self.trace_memo_misses:
+            parts.append(
+                f"trace memo {self.trace_memo_hits} hit(s), "
+                f"{self.trace_memo_misses} miss(es)"
+            )
         if self.progress.quarantined:
             parts.append(f"{self.progress.quarantined} quarantined")
         if self.progress.aborted:

@@ -182,6 +182,12 @@ class DramConfig:
     pipeline_latency: int = 1200
     request_buffer_size: int = 64
     demand_priority: bool = True
+    #: Use the original O(buffer) linear-scan FR-FCFS pick instead of the
+    #: indexed scheduler.  The two are decision-identical (enforced by the
+    #: diffcheck ``dram_indexed_vs_reference`` oracle and the property
+    #: tests); the reference exists purely as a differential baseline and
+    #: for debugging, so the default stays on the fast path.
+    reference_scheduler: bool = False
     #: Optional shared L2 at the memory controllers (per channel), the
     #: "more complex hierarchies" extension the paper's conclusion names
     #: as future work.  0 disables it — the faithful Table II baseline has

@@ -58,6 +58,23 @@ class Core:
         self.max_blocks = 1
         self.port_free_cycle = 0
         self._rr_index = 0
+        # Round-robin advances the scan start; "oldest" pins it.  The
+        # scheduler choice is fixed at construction, so the issue path
+        # tests a cached flag instead of chasing config attributes.
+        self._rr_enabled = config.core.scheduler != "oldest"
+        # Sleep/wake scheduling state, driven by try_issue and consumed by
+        # the GPU main loop: a core whose issue attempt fails for a reason
+        # that cannot resolve by itself goes to sleep, and the loop skips
+        # its warp scan until ``wake_cycle`` passes or an external event
+        # (response, block dispatch, store freed at injection) sets
+        # ``woken``.  ``sleep_credit`` marks sleeps entered from a failed
+        # full scan, whose skipped polls must still accrue stall_cycles
+        # exactly as the polled scan would have.
+        self.asleep = False
+        self.wake_cycle: Optional[int] = None
+        self.sleep_credit = False
+        self.woken = False
+        self.mrq.owner_core = self
         # Count of resident warps that have not finished their stream,
         # maintained by assign/issue so :attr:`drained` is O(1) — the GPU
         # main loop polls it every eventful cycle.
@@ -100,6 +117,7 @@ class Core:
 
     def assign_block(self, block: Block) -> None:
         """Make a thread block's warps resident on this core."""
+        self.woken = True
         block_id, warp_specs = block
         self._block_warps[block_id] = len(warp_specs)
         self.warps_assigned += len(warp_specs)
@@ -171,13 +189,34 @@ class Core:
         Returns ``(issued, retry_cycle)``: ``retry_cycle`` is the earliest
         future cycle worth re-attempting at (None when only an external
         event — a memory response — can unblock the core).
+
+        Every call also refreshes the sleep/wake state: a failure whose
+        outcome is provably stable until ``retry_cycle`` or an external
+        wake event puts the core to sleep.  A failed scan that touched
+        :meth:`_issue_chunk` is *not* sleep-eligible — its probe has
+        per-poll side effects (prefetch-cache miss and MRQ full-rejection
+        counters) that must keep accruing each polled cycle.
         """
         if self.port_free_cycle > cycle:
+            # The busy port blocks all issue until it frees, whatever else
+            # happens in between; no stall is charged on this path.
+            self.asleep = True
+            self.wake_cycle = self.port_free_cycle
+            self.sleep_credit = False
+            self.woken = False
             return False, self.port_free_cycle
+        self.asleep = False
         warps = self.warps
         num_warps = len(warps)
         if num_warps == 0:
+            # Nothing resident: only a block dispatch (or a straggler
+            # response) changes anything, and both set ``woken``.
+            self.asleep = True
+            self.wake_cycle = None
+            self.sleep_credit = False
+            self.woken = False
             return False, None
+        impure = False
         min_ready: Optional[int] = None
         index = self._rr_index
         for _ in range(num_warps):
@@ -201,9 +240,10 @@ class Core:
                 # check must not run (completed early chunks would make
                 # the instruction look re-issuable from scratch).
                 if self._issue_chunk(warp, inst, cycle):
-                    if self.config.core.scheduler != "oldest":
+                    if self._rr_enabled:
                         self._rr_index = index if index < num_warps else 0
                     return True, None
+                impure = True
                 continue
             if inst.global_memory and not self._mrq_has_room(inst):
                 if inst.op != Op.PREFETCH:
@@ -213,11 +253,12 @@ class Core:
                         # pass and stalling here would deadlock.  Issue
                         # it in chunks instead.
                         if self._issue_chunk(warp, inst, cycle):
-                            if self.config.core.scheduler != "oldest":
+                            if self._rr_enabled:
                                 self._rr_index = (
                                     index if index < num_warps else 0
                                 )
                             return True, None
+                        impure = True
                     # Structural stall: MRQ space frees when a response
                     # arrives (an external event), but responses are only
                     # observed on event boundaries anyway.
@@ -226,28 +267,45 @@ class Core:
                 # the prefetch instruction retires, its requests are
                 # dropped.
             self._issue(warp, inst, cycle)
-            if self.config.core.scheduler != "oldest":
+            if self._rr_enabled:
                 self._rr_index = index if index < num_warps else 0
             return True, None
         self.stall_cycles += 1
+        if not impure:
+            # The failed scan was side-effect free, so its outcome cannot
+            # change before min_ready or an external wake event; skipped
+            # polls accrue stall_cycles via sleep_credit.
+            self.asleep = True
+            self.wake_cycle = min_ready
+            self.sleep_credit = True
+            self.woken = False
         return False, min_ready
 
     def _mrq_new_lines(self, inst: WarpInstruction) -> int:
         """Distinct lines of ``inst`` needing a fresh MRQ entry right now."""
         needed = 0
         mrq = self.mrq
+        is_load = inst.op == Op.LOAD
         pcache = self.pcache
         for line in inst.lines:
             if mrq.lookup(line) is not None:
                 continue
-            if inst.op == Op.LOAD and pcache.contains(line):
+            if is_load and pcache.contains(line):
                 continue
             needed += 1
         return needed
 
     def _mrq_has_room(self, inst: WarpInstruction) -> bool:
-        """Conservatively check MRQ space for a memory instruction."""
-        return len(self.mrq) + self._mrq_new_lines(inst) <= self.mrq.size
+        """Conservatively check MRQ space for a memory instruction.
+
+        Fast path: fresh entries needed can never exceed the
+        instruction's line count, so when even that worst case fits the
+        per-line MRQ and prefetch-cache probes are skipped entirely.
+        """
+        occupied = len(self.mrq)
+        if occupied + len(inst.lines) <= self.mrq.size:
+            return True
+        return occupied + self._mrq_new_lines(inst) <= self.mrq.size
 
     def _issue(self, warp: Warp, inst: WarpInstruction, cycle: int) -> None:
         """Issue one warp-instruction: occupy the port, run its side effects."""
@@ -454,6 +512,7 @@ class Core:
 
     def on_response(self, request: MemoryRequest, cycle: int) -> None:
         """A line arrived from memory: wake waiters, fill prefetch cache."""
+        self.woken = True
         entry = self.mrq.complete(request.line_addr)
         if entry is None:
             return
@@ -525,6 +584,10 @@ class Core:
             "port_free_cycle": self.port_free_cycle,
             "rr_index": self._rr_index,
             "unfinished": self._unfinished,
+            "asleep": self.asleep,
+            "wake_cycle": self.wake_cycle,
+            "sleep_credit": self.sleep_credit,
+            "woken": self.woken,
             "mrq": self.mrq.state_dict(),
             "pcache": self.pcache.state_dict(),
             "prefetcher": (
@@ -577,6 +640,13 @@ class Core:
         self.port_free_cycle = state["port_free_cycle"]
         self._rr_index = state["rr_index"]
         self._unfinished = state["unfinished"]
+        # .get: snapshots written before the sleep/wake scheduler lack
+        # these keys; a core restored from one simply starts awake (the
+        # first poll re-derives the sleep state exactly).
+        self.asleep = state.get("asleep", False)
+        self.wake_cycle = state.get("wake_cycle")
+        self.sleep_credit = state.get("sleep_credit", False)
+        self.woken = state.get("woken", False)
         self.mrq.load_state_dict(state["mrq"], requests)
         self.pcache.load_state_dict(state["pcache"])
         if self.prefetcher is not None and state["prefetcher"] is not None:

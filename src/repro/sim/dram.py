@@ -12,6 +12,18 @@ Scheduling per channel is FR-FCFS-like with strict demand-over-prefetch
 priority: demand first, then open-row hits, then arrival order.  The data
 bus serializes one 64B burst per ``burst_cycles``; bank preparation
 (precharge/activate) overlaps with earlier bursts.
+
+Two pick implementations coexist.  The *indexed* scheduler (default)
+maintains per-priority-class arrival heaps plus per-(bank, row) open-row
+buckets so each pick inspects at most ``banks_per_channel`` bucket heads
+instead of scanning the whole request buffer; late-prefetch promotions
+are pushed eagerly into the demand index by a hook on
+:meth:`~repro.sim.memory_request.MemoryRequest.merge_demand`.  The
+original linear scan is retained behind
+``DramConfig.reference_scheduler`` as the differential reference the
+diffcheck oracle and the property tests compare against.  Both paths key
+ties by ``BufferEntry.seq`` (per-channel insertion order), which equals
+the old pending-list scan order, so decisions are bit-identical.
 """
 
 from __future__ import annotations
@@ -51,7 +63,7 @@ class BufferEntry:
 
     __slots__ = (
         "line_addr", "bank", "row", "requesters", "is_store", "arrival",
-        "ready_cycle", "demand",
+        "ready_cycle", "demand", "seq", "queued", "owner",
     )
 
     def __init__(
@@ -75,6 +87,15 @@ class BufferEntry:
         # the prefetch's pipeline progress — the head start is real.
         self.ready_cycle = ready_cycle
         self.demand = request.is_demand
+        # Index bookkeeping (not serialized; the channel rebuilds it on
+        # restore).  ``seq`` is the per-channel insertion order — the
+        # FR-FCFS tie-breaker, equal to the entry's scan position in the
+        # reference implementation.  ``queued`` is the lazy-deletion
+        # marker for the index heaps; ``owner`` routes promotion hooks
+        # back to the owning channel.
+        self.seq = -1
+        self.queued = False
+        self.owner: Optional["DramChannel"] = None
 
     def merge(self, request: MemoryRequest) -> None:
         self.requesters.append(request)
@@ -108,6 +129,9 @@ class BufferEntry:
         entry.arrival = state["arrival"]
         entry.ready_cycle = state["ready_cycle"]
         entry.demand = state["demand"]
+        entry.seq = -1
+        entry.queued = False
+        entry.owner = None
         return entry
 
     def is_demand_now(self) -> bool:
@@ -158,9 +182,24 @@ class DramChannel:
         self.channel_id = channel_id
         self.config = config
         self.banks = [_Bank() for _ in range(config.banks_per_channel)]
-        self.pending: List[BufferEntry] = []
+        # ``pending`` maps entry.seq -> entry in insertion order (dict
+        # iteration order), giving O(1) removal by seq where the old list
+        # needed an O(n) pop-by-index.
+        self.pending: Dict[int, BufferEntry] = {}
         self._by_line: Dict[int, BufferEntry] = {}
         self._completing: List[Tuple[int, int, BufferEntry]] = []
+        # Indexed-scheduler state.  Each heap holds (seq, entry) with lazy
+        # deletion: an entry is live in the demand heaps iff it is still
+        # queued, and live in the other heaps iff it is queued and has not
+        # been promoted to the demand class.  Row buckets are keyed by
+        # (bank, row) so an open-row change re-targets lookups for free.
+        self._entry_seq = 0
+        self._demand_all: List[Tuple[int, BufferEntry]] = []
+        self._demand_rows: Dict[Tuple[int, int], List[Tuple[int, BufferEntry]]] = {}
+        self._other_all: List[Tuple[int, BufferEntry]] = []
+        self._other_rows: Dict[Tuple[int, int], List[Tuple[int, BufferEntry]]] = {}
+        self._dp = config.demand_priority
+        self._reference = config.reference_scheduler
         self.bus_busy_until = 0
         self.next_pick_cycle = 0
         if config.l2_size_bytes > 0:
@@ -184,8 +223,16 @@ class DramChannel:
         if not request.is_store:
             entry = self._by_line.get(request.line_addr)
             if entry is not None and not entry.is_store:
+                was_demand = entry.demand
                 entry.merge(request)
                 self.inter_core_merges += 1
+                if entry.queued:
+                    if request.is_prefetch:
+                        # A late demand at this rider's MRQ must still be
+                        # able to promote the shared buffer entry.
+                        request.dram_entry = entry
+                    elif not was_demand:
+                        self.promote(entry)
                 return
         if self.l2 is not None and not request.is_store:
             if self.l2.lookup(request.line_addr) is not None:
@@ -202,25 +249,64 @@ class DramChannel:
             self.l2_misses += 1
         ready = cycle + self.config.pipeline_latency
         entry = BufferEntry(request.line_addr, bank, row, request, cycle, ready)
-        self.pending.append(entry)
+        self._enqueue(entry)
+        if request.is_prefetch:
+            request.dram_entry = entry
         if not entry.is_store:
             self._by_line[request.line_addr] = entry
 
-    def _pick(self, cycle: int) -> Optional[int]:
-        """Index of the best *schedulable* entry: demand > row-hit > oldest.
+    def _enqueue(self, entry: BufferEntry) -> None:
+        """Add an entry to the pending buffer and the scheduling index."""
+        seq = self._entry_seq
+        self._entry_seq = seq + 1
+        entry.seq = seq
+        entry.queued = True
+        entry.owner = self
+        self.pending[seq] = entry
+        item = (seq, entry)
+        key = (entry.bank, entry.row)
+        if entry.demand and self._dp:
+            heapq.heappush(self._demand_all, item)
+            heapq.heappush(self._demand_rows.setdefault(key, []), item)
+        else:
+            heapq.heappush(self._other_all, item)
+            heapq.heappush(self._other_rows.setdefault(key, []), item)
 
-        This is the hottest loop in the simulator (it scans the whole
-        request buffer once per serviced entry), so the
+    def promote(self, entry: BufferEntry) -> None:
+        """Move a buffered entry into the demand priority class.
+
+        Called eagerly when a demand merges into one of the entry's
+        requests — either inter-core (at :meth:`arrive`) or intra-core at
+        the originating MRQ (the ``merge_demand`` late-prefetch hook) —
+        replacing the reference scheduler's per-pick lazy scan of every
+        requester.  The stale copy left in the non-demand heaps is
+        discarded lazily at pop time.
+        """
+        entry.demand = True
+        if not entry.queued or not self._dp:
+            return
+        item = (entry.seq, entry)
+        heapq.heappush(self._demand_all, item)
+        heapq.heappush(
+            self._demand_rows.setdefault((entry.bank, entry.row), []), item
+        )
+
+    def _pick_reference(self, cycle: int) -> Optional[BufferEntry]:
+        """Linear-scan pick: demand > row-hit > oldest (reference impl).
+
+        The original O(buffer) scan, retained behind
+        ``DramConfig.reference_scheduler`` as the differential oracle the
+        indexed scheduler is checked against.  The
         :meth:`BufferEntry.is_demand_now` promotion check is inlined as
         plain attribute reads and the priority key is two small ints
         instead of a per-entry tuple.
         """
-        best_index = None
+        best_entry = None
         best_p = 4  # one past the worst possible priority class
         best_arrival = 0
         banks = self.banks
-        demand_priority = self.config.demand_priority
-        for i, entry in enumerate(self.pending):
+        demand_priority = self._dp
+        for entry in self.pending.values():
             if entry.ready_cycle > cycle:
                 continue
             demand = entry.demand
@@ -238,16 +324,95 @@ class DramChannel:
             if p < best_p or (p == best_p and entry.arrival < best_arrival):
                 best_p = p
                 best_arrival = entry.arrival
-                best_index = i
-        return best_index
+                best_entry = entry
+        return best_entry
+
+    def _best_in_class(
+        self,
+        all_heap: List[Tuple[int, BufferEntry]],
+        row_buckets: Dict[Tuple[int, int], List[Tuple[int, BufferEntry]]],
+        cycle: int,
+        demand_class: bool,
+        pop: heapq.heappop = heapq.heappop,  # type: ignore[assignment]
+    ) -> Optional[BufferEntry]:
+        """Best schedulable entry within one priority class (row-hit first).
+
+        Within a class the winner is the oldest ready row hit if any
+        exists, else the oldest ready entry.  Both reductions exploit that
+        ``ready_cycle`` is non-decreasing in ``seq`` (every pending entry's
+        ready cycle is its arrival plus the constant pipeline latency), so
+        an unready heap head proves the whole heap unready.
+        """
+        dp = self._dp
+        while all_heap:
+            seq, entry = all_heap[0]
+            if entry.queued and (not dp or entry.demand == demand_class):
+                break
+            pop(all_heap)
+        else:
+            return None
+        head = all_heap[0][1]
+        if head.ready_cycle > cycle:
+            return None  # oldest entry unready => whole class unready
+        if self.banks[head.bank].open_row == head.row:
+            # Oldest entry in the class is itself a row hit: unbeatable.
+            return head
+        # Oldest ready row hit across the currently-open rows; any row hit
+        # outranks the (row-miss) class head regardless of age.
+        best_seq = None
+        best = None
+        for bank_index, bank in enumerate(self.banks):
+            row = bank.open_row
+            if row is None:
+                continue
+            key = (bank_index, row)
+            bucket = row_buckets.get(key)
+            if bucket is None:
+                continue
+            while bucket:
+                seq, entry = bucket[0]
+                if entry.queued and (not dp or entry.demand == demand_class):
+                    break
+                pop(bucket)
+            if not bucket:
+                del row_buckets[key]
+                continue
+            seq, entry = bucket[0]
+            if (best_seq is None or seq < best_seq) and entry.ready_cycle <= cycle:
+                best_seq = seq
+                best = entry
+        # A ready row hit beats every row miss; otherwise the class head
+        # (ready, oldest, necessarily a row miss here) wins.
+        return best if best is not None else head
+
+    def _pick_indexed(self, cycle: int) -> Optional[BufferEntry]:
+        """Index-driven pick, decision-identical to :meth:`_pick_reference`.
+
+        Inspects at most one heap head per bank per priority class instead
+        of scanning the whole request buffer.  Late-prefetch promotions
+        are applied eagerly by :meth:`promote` (hooked from
+        ``MemoryRequest.merge_demand``), so the demand heaps are always
+        current when a pick happens.
+        """
+        if self._dp:
+            entry = self._best_in_class(
+                self._demand_all, self._demand_rows, cycle, True
+            )
+            if entry is not None:
+                return entry
+        return self._best_in_class(self._other_all, self._other_rows, cycle, False)
 
     def step(self, cycle: int) -> List[BufferEntry]:
         """Advance scheduling up to ``cycle``; return completed entries."""
+        pick = self._pick_reference if self._reference else self._pick_indexed
         while self.pending and self.next_pick_cycle <= cycle:
-            index = self._pick(cycle)
-            if index is None:
+            entry = pick(cycle)
+            if entry is None:
                 break
-            entry = self.pending.pop(index)
+            del self.pending[entry.seq]
+            entry.queued = False
+            for request in entry.requesters:
+                request.dram_entry = None
             self._service(entry, max(self.next_pick_cycle, entry.ready_cycle))
         heap = self._completing
         if not heap or heap[0][0] > cycle:
@@ -293,13 +458,24 @@ class DramChannel:
         if self.pending:
             min_ready: Optional[int] = None
             any_ready = False
-            for entry in self.pending:
-                ready = entry.ready_cycle
-                if ready <= cycle:
+            if self._reference:
+                for entry in self.pending.values():
+                    ready = entry.ready_cycle
+                    if ready <= cycle:
+                        any_ready = True
+                        break
+                    if min_ready is None or ready < min_ready:
+                        min_ready = ready
+            else:
+                # ``pending`` is insertion-ordered by the monotonic seq
+                # and ``ready_cycle`` is non-decreasing in seq, so the
+                # first entry carries the minimum ready cycle — the only
+                # two facts this computation needs from the buffer.
+                oldest = next(iter(self.pending.values()))
+                if oldest.ready_cycle <= cycle:
                     any_ready = True
-                    break
-                if min_ready is None or ready < min_ready:
-                    min_ready = ready
+                else:
+                    min_ready = oldest.ready_cycle
             if any_ready:
                 pick = self.next_pick_cycle
                 if pick <= cycle:
@@ -322,7 +498,7 @@ class DramChannel:
         the completion heap in list order) and every container stores the
         entry's index into that enumeration.
         """
-        entries: List[BufferEntry] = list(self.pending)
+        entries: List[BufferEntry] = list(self.pending.values())
         entries.extend(item[2] for item in self._completing)
         eids = {id(entry): eid for eid, entry in enumerate(entries)}
         return {
@@ -350,7 +526,14 @@ class DramChannel:
         }
 
     def load_state_dict(self, state: Dict, requests: Dict[int, MemoryRequest]) -> None:
-        """Restore from :meth:`state_dict`, preserving entry aliasing."""
+        """Restore from :meth:`state_dict`, preserving entry aliasing.
+
+        The scheduling index is not serialized: per-channel ``seq`` values
+        are reassigned from the recorded pending order (which is the
+        original insertion order, so relative age — the FR-FCFS
+        tie-breaker — is preserved exactly) and the class heaps are
+        rebuilt from the entries' current promotion state.
+        """
         for bank, (row_ready_cycle, open_row) in zip(self.banks, state["banks"]):
             bank.row_ready_cycle = row_ready_cycle
             bank.open_row = open_row
@@ -358,10 +541,27 @@ class DramChannel:
             BufferEntry.from_state(entry_state, requests)
             for entry_state in state["entries"]
         ]
-        self.pending = entries[: state["num_pending"]]
+        self.pending = {}
+        self._entry_seq = 0
+        self._demand_all = []
+        self._demand_rows = {}
+        self._other_all = []
+        self._other_rows = {}
+        for entry in entries[: state["num_pending"]]:
+            # Normalize lazily-recorded promotions (a reference-scheduler
+            # checkpoint may not have scanned the flip in yet) so the heap
+            # classification is current from the first pick.
+            if not entry.demand:
+                entry.is_demand_now()
+            self._enqueue(entry)
+            for request in entry.requesters:
+                if request.is_prefetch:
+                    request.dram_entry = entry
         self._completing = [
             (done, seq, entries[eid]) for done, seq, eid in state["completing"]
         ]
+        for _done, _seq, entry in self._completing:
+            entry.owner = self
         heapq.heapify(self._completing)
         self._by_line = {line: entries[eid] for line, eid in state["by_line"]}
         self.bus_busy_until = state["bus_busy_until"]
@@ -426,6 +626,8 @@ class Dram:
         """Earliest future cycle at which any channel can make progress."""
         best: Optional[int] = None
         for channel in self.channels:
+            if not channel.pending and not channel._completing:
+                continue
             c = channel.next_event_cycle(cycle)
             if c is not None and (best is None or c < best):
                 best = c
@@ -435,7 +637,7 @@ class Dram:
         """Every request buffered or completing in any channel (invariants)."""
         requests: List[MemoryRequest] = []
         for channel in self.channels:
-            for entry in channel.pending:
+            for entry in channel.pending.values():
                 requests.extend(entry.requesters)
             for _, _, entry in channel._completing:
                 requests.extend(entry.requesters)

@@ -229,6 +229,7 @@ class GpuSimulator:
         pop_memory_arrivals = icnt.pop_memory_arrivals
         send_response = icnt.send_response
         inject_requests = icnt.inject_requests
+        icnt_tick_idle = icnt.tick_idle
         icnt_next_event = icnt.next_event_cycle
         dram_arrive = dram.arrive
         dram_step = dram.step
@@ -348,10 +349,25 @@ class GpuSimulator:
                     t_now = timer()
                     prof_wall["dispatch"] += t_now - t_phase
                     t_phase = t_now
-            # 6. Issue.
+            # 6. Issue.  Sleeping cores are skipped: their last issue
+            # attempt failed for a reason proven stable until wake_cycle
+            # or an external ``woken`` event, so the skipped poll's only
+            # observable effects — the stall_cycles increment and the
+            # retry candidate — are replayed here verbatim, keeping stats
+            # bit-identical to polling every core every eventful cycle.
             candidates.clear()
             issued_any = False
             for core in cores:
+                if core.asleep:
+                    wake = core.wake_cycle
+                    if not core.woken and (wake is None or wake > cycle):
+                        if core.sleep_credit:
+                            core.stall_cycles += 1
+                        if wake is not None:
+                            candidates.append(wake)
+                        continue
+                    core.asleep = False
+                    core.woken = False
                 issued, retry = core.try_issue(cycle)
                 if issued:
                     issued_any = True
@@ -365,8 +381,18 @@ class GpuSimulator:
                 if issued_any:
                     prof_active["core_issue"] += 1
                 injected_before = icnt.total_injected
-            # 7. Inject requests into the network.
-            inject_requests(cycle, mrqs)
+            # 7. Inject requests into the network.  When no MRQ has
+            # anything sendable, the full call (whose round-robin probe
+            # pays a pop_sendable call per core) is replaced by an O(1)
+            # clock tick: the credit cap binds per *update interval*, so
+            # the arbiter clock must advance on idle cycles too or the
+            # next real injection would bank the whole gap's bandwidth.
+            for mrq in mrqs:
+                if mrq._send_queue:
+                    inject_requests(cycle, mrqs)
+                    break
+            else:
+                icnt_tick_idle(cycle)
             if prof is not None:
                 t_now = timer()
                 prof_wall["inject"] += t_now - t_phase
@@ -429,6 +455,12 @@ class GpuSimulator:
             # cover every cycle so totals reconcile with the stats.
             rec.finish(self)
         if prof is not None:
+            counts = prof.counts
+            for core in cores:
+                if core.prefetcher is not None:
+                    tstats = core.prefetcher.table_stats()
+                    counts["table_lookups"] += tstats["lookups"]
+                    counts["table_hits"] += tstats["hits"]
             prof.finish(cycle)
         if checker is not None:
             checker.check_final(cycle, truncated=truncated)
@@ -475,7 +507,7 @@ class GpuSimulator:
         for item in self.interconnect._to_core:
             requests.setdefault(item[3].rid, item[3])
         for channel in self.dram.channels:
-            for entry in channel.pending:
+            for entry in channel.pending.values():
                 for request in entry.requesters:
                     requests.setdefault(request.rid, request)
             for _done, _seq, entry in channel._completing:

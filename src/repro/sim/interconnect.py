@@ -54,6 +54,22 @@ class Interconnect:
         self._to_core: List[Tuple[int, int, int, MemoryRequest]] = []
         self.total_injected = 0
 
+    def tick_idle(self, cycle: int) -> None:
+        """Advance the arbiter clock/credit for a cycle with nothing to send.
+
+        The credit cap is ``slots_per_cycle * max(1, elapsed)`` with
+        ``elapsed`` measured since the last arbiter update, so a caller
+        that elides :meth:`inject_requests` on empty-queue cycles must
+        still tick the clock here — otherwise the next real injection
+        sees the whole idle gap as one interval and banks its bandwidth.
+        """
+        elapsed = cycle - self._last_step_cycle
+        self._last_step_cycle = cycle
+        self._credit = min(
+            self._credit + elapsed * self.slots_per_cycle,
+            float(self.slots_per_cycle) * max(1, elapsed),
+        )
+
     def inject_requests(self, cycle: int, mrqs: List[MemoryRequestQueue]) -> None:
         """Arbiter: pull sendable requests from the MRQs into the pipe.
 

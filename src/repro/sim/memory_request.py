@@ -57,6 +57,7 @@ class MemoryRequest:
         "send_cycle",
         "waiters",
         "sent",
+        "dram_entry",
     )
 
     def __init__(
@@ -82,6 +83,11 @@ class MemoryRequest:
         self.send_cycle = -1
         self.waiters: List[Tuple[object, int]] = []
         self.sent = False
+        # Back-reference to the DRAM buffer entry this request rides while
+        # that entry is schedulable, so a late-prefetch promotion reaches
+        # the indexed scheduler eagerly (see DramChannel.promote).  Not
+        # serialized; the channel rewires it on checkpoint restore.
+        self.dram_entry: Optional[object] = None
 
     @property
     def is_demand(self) -> bool:
@@ -103,6 +109,13 @@ class MemoryRequest:
         if self.is_prefetch:
             self.is_prefetch = False
             self.late_prefetch = True
+            entry = self.dram_entry
+            if entry is not None:
+                # Propagate the promotion into the DRAM scheduling index
+                # eagerly; the reference scheduler re-derives the same
+                # flag from the requester list at its next scan.
+                self.dram_entry = None
+                entry.owner.promote(entry)
         if warp is not None and token >= 0:
             self.add_waiter(warp, token)
 
@@ -152,6 +165,7 @@ class MemoryRequest:
         request.send_cycle = state["send_cycle"]
         request.sent = state["sent"]
         request.waiters = []
+        request.dram_entry = None
         return request
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

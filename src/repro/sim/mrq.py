@@ -35,7 +35,7 @@ class MemoryRequestQueue:
     """MRQ / MSHR file for one core."""
 
     __slots__ = (
-        "core_id", "size", "_entries", "_send_queue",
+        "core_id", "size", "_entries", "_send_queue", "owner_core",
         "window_merges", "window_requests",
         "total_merges", "total_requests", "total_created", "total_completed",
         "total_stores_sent", "total_demand_on_prefetch_merges",
@@ -48,6 +48,12 @@ class MemoryRequestQueue:
         self.size = size
         self._entries: Dict[int, MemoryRequest] = {}
         self._send_queue: List[MemoryRequest] = []
+        # Owning core, for the store-freed wake-up (runtime plumbing, set
+        # by Core.__init__, never serialized): a store entry frees MRQ
+        # space at injection with no response ever arriving, so a core
+        # sleeping on an MRQ-full stall must be woken here or it sleeps
+        # through the only event that can unblock it.
+        self.owner_core: Optional[object] = None
         # Window counters (throttle period scope).
         self.window_merges = 0
         self.window_requests = 0
@@ -197,6 +203,8 @@ class MemoryRequestQueue:
         if request.is_store:
             self._entries.pop(request.line_addr, None)
             self.total_stores_sent += 1
+            if self.owner_core is not None:
+                self.owner_core.woken = True
         return request
 
     def complete(self, line_addr: int) -> Optional[MemoryRequest]:

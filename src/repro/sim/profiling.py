@@ -107,7 +107,14 @@ class SimProfiler:
     def __init__(self) -> None:
         self.wall: Dict[str, float] = {phase: 0.0 for phase in PHASES}
         self.active_cycles: Dict[str, int] = {c: 0 for c in COMPONENTS}
-        self.counts: Dict[str, int] = {"prefetcher_lookups": 0}
+        self.counts: Dict[str, int] = {
+            "prefetcher_lookups": 0,
+            # Aggregate LRU-table pressure across every core's prefetcher
+            # (summed from the tables at the end of the run): how many
+            # table probes training performed and how many found an entry.
+            "table_lookups": 0,
+            "table_hits": 0,
+        }
         self.loop_iterations = 0
         self.cycles = 0
         self.wall_seconds = 0.0
@@ -197,7 +204,12 @@ class SimProfiler:
         self.wall.update(state["wall"])
         self.active_cycles = {c: 0 for c in COMPONENTS}
         self.active_cycles.update(state["active_cycles"])
-        self.counts = dict(state["counts"])
+        # Merge over defaults so snapshots written before a counter was
+        # introduced restore with that counter at zero.
+        self.counts = {
+            "prefetcher_lookups": 0, "table_lookups": 0, "table_hits": 0,
+        }
+        self.counts.update(state["counts"])
         self.loop_iterations = state["loop_iterations"]
         self.cycles = state["cycles"]
         self.wall_seconds = state["wall_seconds"]

@@ -185,6 +185,56 @@ def test_resume_is_bit_identical_to_golden(request_, tmp_path):
         )
 
 
+def test_resume_mid_sleep_is_bit_identical(tmp_path):
+    """Snapshots taken with cores mid-sleep resume to the golden stats.
+
+    The per-core sleep/wake scheduler keeps ``asleep`` / ``wake_cycle`` /
+    ``sleep_credit`` state between loop iterations, so a snapshot can
+    land while cores are asleep — including credit sleeps, where the
+    resumed run must keep accruing the skipped polls' stall cycles.
+    This test snapshots densely, keeps only instants where at least one
+    core is asleep, and requires the kept set to cover both a credit
+    sleep (skipped polls still accruing stalls) and a pinned wake cycle
+    (the scheduled-retry path); every such resume must reproduce the
+    golden capture byte for byte.
+    """
+    request_ = {"benchmark": "stream", "hardware": "stride_pc_wid",
+                "scale": 0.5, "software": "none"}
+    spec = make_spec(**request_)
+    sim = build_sim(spec)
+    paths = []
+    credit_sleep_seen = False
+    pinned_wake_seen = False
+
+    def writer(s):
+        nonlocal credit_sleep_seen, pinned_wake_seen
+        sleeping = [core for core in s.cores if core.asleep]
+        if not sleeping:
+            return
+        credit_sleep_seen |= any(core.sleep_credit for core in sleeping)
+        pinned_wake_seen |= any(
+            core.wake_cycle is not None for core in sleeping
+        )
+        path = Path(tmp_path) / f"sleep-{s.cycle}.ckpt.json"
+        write_checkpoint(path, s, fingerprint=fingerprint(spec))
+        paths.append(path)
+
+    sim.checkpoint_interval = 401  # dense, off-phase with wake periods
+    sim.checkpoint_write = writer
+    result = sim.run(strict=True)
+    result.stats.benchmark = sim._test_kernel.name
+    expected = golden_sha(request_)
+    assert stats_sha(result) == expected
+    assert paths, "no snapshot ever caught a core asleep"
+    assert credit_sleep_seen, "no snapshot caught a credit sleep"
+    assert pinned_wake_seen, "no snapshot caught a pinned wake cycle"
+    for path in paths[:4]:
+        resumed = resume_from(path, spec)
+        assert stats_sha(resumed) == expected, (
+            f"mid-sleep resume from {path.name} diverged"
+        )
+
+
 def test_resume_under_invariant_checking(tmp_path, monkeypatch):
     """Round trip with the integrity checker attached on both sides.
 
